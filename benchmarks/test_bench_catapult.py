@@ -1,0 +1,68 @@
+"""E2 -- the Catapult claim: FPGA offload cuts ranking tail latency ~29%.
+
+Regenerates the P99 comparison at the deployment operating point and the
+load sweep, plus the iso-SLA throughput gain. Paper shape: ~29% tail
+reduction at iso-throughput; Catapult also reported ~2x throughput at
+equivalent latency.
+"""
+
+from repro.reporting import render_table
+from repro.workloads import max_qps_within_sla, tail_latency_reduction
+
+
+def test_bench_catapult_tail_reduction(benchmark):
+    result = benchmark(tail_latency_reduction, 2000, 12_000)
+    print()
+    print(render_table(
+        ["metric", "cpu", "cpu+fpga"],
+        [
+            ["p50 (ms)", result["p50_cpu_s"] * 1e3, result["p50_fpga_s"] * 1e3],
+            ["p99 (ms)", result["p99_cpu_s"] * 1e3, result["p99_fpga_s"] * 1e3],
+        ],
+        title="E2: ranking service latency at 2000 qps "
+              f"(tail reduction {result['tail_reduction']:.1%}, paper: 29%)",
+    ))
+    assert 0.15 < result["tail_reduction"] < 0.45
+
+
+def test_bench_catapult_load_sweep(benchmark):
+    def sweep():
+        return [tail_latency_reduction(qps, n_requests=6000)
+                for qps in (500, 1000, 2000, 2800)]
+
+    rows = []
+    for qps, result in zip((500, 1000, 2000, 2800), benchmark(sweep)):
+        rows.append([
+            qps,
+            result["p99_cpu_s"] * 1e3,
+            result["p99_fpga_s"] * 1e3,
+            f"{result['tail_reduction']:.1%}",
+        ])
+    print()
+    print(render_table(
+        ["qps", "p99 cpu (ms)", "p99 fpga (ms)", "reduction"], rows,
+        title="E2: tail reduction vs offered load",
+    ))
+    # Reduction grows with load (queueing amplifies the slow stage).
+    reductions = [float(r[3].rstrip("%")) for r in rows]
+    assert reductions[-1] > reductions[0]
+
+
+def test_bench_catapult_iso_sla_throughput(benchmark):
+    sla_s = 0.012
+
+    def sweep():
+        base = max_qps_within_sla(sla_s, accelerated=False, n_requests=4000,
+                                  qps_hi=20_000)
+        accel = max_qps_within_sla(sla_s, accelerated=True, n_requests=4000,
+                                   qps_hi=20_000)
+        return base, accel
+
+    base, accel = benchmark(sweep)
+    print()
+    print(render_table(
+        ["config", "max qps at 12 ms P99"],
+        [["cpu", base], ["cpu+fpga", accel], ["gain", accel / base]],
+        title="E2: iso-SLA throughput (Catapult reported ~2x)",
+    ))
+    assert accel > 1.5 * base

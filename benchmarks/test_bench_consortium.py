@@ -1,0 +1,34 @@
+"""T1 -- Table 1: consortium expertise coverage matrix.
+
+Regenerates the paper's consortium table as a capability-coverage matrix
+and checks the expected shape: every required capability covered, all
+three partner kinds present.
+"""
+
+from repro.ecosystem import (
+    CONSORTIUM,
+    REQUIRED_CAPABILITIES,
+    consortium_balance,
+    consortium_coverage,
+)
+from repro.reporting import render_table
+
+
+def test_bench_consortium_coverage(benchmark):
+    coverage = benchmark(consortium_coverage)
+    rows = [
+        [capability, ", ".join(partners)]
+        for capability, partners in sorted(coverage.items())
+    ]
+    print()
+    print(render_table(["capability", "partners"], rows,
+                       title="T1: consortium expertise coverage"))
+    balance = consortium_balance()
+    print(render_table(
+        ["kind", "count"], sorted(balance.items()),
+        title="T1: partner mix",
+    ))
+    # Expected shape: full coverage, all partner kinds represented.
+    assert all(coverage[c] for c in REQUIRED_CAPABILITIES)
+    assert set(balance) == {"academic", "large-industry", "sme"}
+    assert len(CONSORTIUM) == 9

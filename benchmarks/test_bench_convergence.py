@@ -1,0 +1,45 @@
+"""E14 -- R2: HPC / Big Data convergence.
+
+Regenerates the science-stream (LHC/SKA-like) trigger-pipeline comparison
+across devices: the dual-purpose-hardware argument that one node design
+can serve both communities, with accelerators lifting per-node stream
+rates.
+"""
+
+from repro.node import arria10_fpga, nvidia_k80, xeon_e5
+from repro.reporting import render_table
+from repro.workloads import convergence_comparison, run_trigger_pipeline
+
+
+def test_bench_trigger_rates(benchmark):
+    devices = [xeon_e5(), nvidia_k80(), arria10_fpga()]
+    comparison = benchmark(convergence_comparison, devices, 500_000)
+    cpu_rate = comparison["xeon-e5"].sustainable_rate_hz
+    rows = [
+        [name, report.sustainable_rate_hz, report.sustainable_rate_hz / cpu_rate,
+         report.n_triggered]
+        for name, report in sorted(comparison.items())
+    ]
+    print()
+    print(render_table(
+        ["device", "sustainable rate (ev/s)", "vs cpu", "triggered"], rows,
+        title="E14: science-stream trigger pipeline (500k events)",
+    ))
+    # The K80's bandwidth advantage nets ~2x on this memory-bound
+    # pipeline after launch overhead (roofline: filter-scan is bw-bound).
+    assert comparison["nvidia-k80"].sustainable_rate_hz > 1.5 * cpu_rate
+    # All devices agree on the physics (same trigger counts).
+    counts = {r.n_triggered for r in comparison.values()}
+    assert len(counts) == 1
+
+
+def test_bench_trigger_selectivity(benchmark):
+    report = benchmark(
+        run_trigger_pipeline, xeon_e5(), 100_000, 10.0
+    )
+    print(f"\ntrigger fraction: {report.trigger_fraction:.4%} "
+          f"({report.n_triggered}/{report.n_events}), "
+          f"windows: {report.n_windows}")
+    # L1-trigger-like selectivity: well under 1% passes.
+    assert report.trigger_fraction < 0.01
+    assert report.n_windows > 0

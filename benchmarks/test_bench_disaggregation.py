@@ -1,0 +1,98 @@
+"""E8 -- SIV.A.3: disaggregating the data center.
+
+Regenerates the stranding comparison (converged servers vs composable
+pools on a skewed job mix) and the rolling-upgrade cost table. Paper
+shape: disaggregation "facilitate[s] regular upgrades and potentially
+eliminate[s] the need and cost of replacing entire servers".
+"""
+
+from repro.cluster import (
+    ResourceVector,
+    skewed_demand_stream,
+    stranding_experiment,
+    upgrade_cost_comparison,
+)
+from repro.engine import RandomStream
+from repro.reporting import render_table
+
+
+def test_bench_stranding(benchmark):
+    def experiment():
+        rng = RandomStream(20160318)
+        demands = skewed_demand_stream(3000, rng)
+        return stranding_experiment(
+            demands, n_servers=24,
+            server_capacity=ResourceVector(32, 256, 4.0),
+        )
+
+    result = benchmark(experiment)
+    rows = []
+    for arch in ("converged", "composable"):
+        stats = result[arch]
+        rows.append([
+            arch, int(stats["placed"]), stats["cores"], stats["memory_gb"],
+            stats["storage_tb"],
+        ])
+    print()
+    print(render_table(
+        ["architecture", "jobs placed", "core util", "mem util",
+         "storage util"],
+        rows,
+        title="E8: placement until first rejection (skewed job mix)",
+    ))
+    placed_conv = result["converged"]["placed"]
+    placed_comp = result["composable"]["placed"]
+    print(f"composable advantage: {placed_comp / placed_conv:.2f}x jobs placed")
+    assert placed_comp >= 1.1 * placed_conv
+
+
+def test_bench_stranding_vs_skew(benchmark):
+    def sweep():
+        rows = []
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            rng = RandomStream(7)
+            demands = skewed_demand_stream(
+                3000, rng, core_heavy_fraction=fraction
+            )
+            result = stranding_experiment(
+                demands, n_servers=24,
+                server_capacity=ResourceVector(32, 256, 4.0),
+            )
+            rows.append([
+                fraction,
+                int(result["converged"]["placed"]),
+                int(result["composable"]["placed"]),
+            ])
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        ["core-heavy fraction", "converged placed", "composable placed"],
+        rows,
+        title="E8: placement vs workload skew",
+    ))
+    # Composable never loses.
+    assert all(r[2] >= r[1] for r in rows)
+
+
+def test_bench_upgrade_cost(benchmark):
+    def sweep():
+        return {
+            dim: upgrade_cost_comparison(1000, dim)
+            for dim in ("cores", "memory_gb", "storage_tb")
+        }
+
+    results = benchmark(sweep)
+    rows = [
+        [dim, r["converged_usd"], r["composable_usd"],
+         f"{r['savings_fraction']:.0%}"]
+        for dim, r in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        ["refresh", "converged $ (1000 srv)", "composable $", "savings"],
+        rows,
+        title="E8: rolling one-generation refresh cost",
+    ))
+    assert all(r["savings_fraction"] >= 0.6 for r in results.values())

@@ -1,0 +1,45 @@
+"""F1 -- Figure 1: the ETP/PPP collaboration landscape.
+
+Regenerates the figure as a scope-coverage table and checks the paper's
+positioning claim: RETHINK big uniquely owns Big Data hardware and
+networking; neighbouring areas are each owned by their named initiative.
+"""
+
+from repro.ecosystem import (
+    ScopeArea,
+    coverage_matrix,
+    exclusive_scopes,
+    landscape_graph,
+    overlap_pairs,
+    uncovered_scopes,
+)
+from repro.reporting import render_table
+
+
+def test_bench_landscape_coverage(benchmark):
+    matrix = benchmark(coverage_matrix)
+    rows = [
+        [scope, ", ".join(names) if names else "(uncovered)"]
+        for scope, names in sorted(matrix.items())
+    ]
+    print()
+    print(render_table(["scope area", "initiatives"], rows,
+                       title="F1: roadmap landscape coverage"))
+    assert set(exclusive_scopes("RETHINK-big")) == {
+        ScopeArea.BIG_DATA_HARDWARE.value,
+        ScopeArea.BIG_DATA_NETWORKING.value,
+    }
+    assert matrix[ScopeArea.HPC.value] == ["ETP4HPC"]
+    assert matrix[ScopeArea.TELECOM_5G.value] == ["5G-PPP"]
+    assert matrix[ScopeArea.IOT.value] == ["AIOTI"]
+    # The deliberate partition: no overlaps, only general compute open.
+    assert overlap_pairs() == []
+    assert uncovered_scopes() == [ScopeArea.GENERAL_COMPUTE.value]
+
+
+def test_bench_landscape_graph(benchmark):
+    graph = benchmark(landscape_graph)
+    initiatives = [
+        n for n, d in graph.nodes(data=True) if d.get("bipartite") == "initiative"
+    ]
+    assert len(initiatives) == 9

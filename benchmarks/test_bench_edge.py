@@ -1,0 +1,72 @@
+"""X3 -- extension: edge vs data-center placement (R11's edge clause).
+
+Regenerates the placement decision table across filter selectivities:
+selective pipelines belong at (or split across) the edge; unselective
+compute-heavy ones belong in the data center.
+"""
+
+from repro.node import arm_microserver, xeon_e5
+from repro.reporting import render_table
+from repro.workloads import EdgeScenario, WanLink, evaluate_placements
+
+
+def test_bench_edge_placement_sweep(benchmark):
+    edge, dc = arm_microserver(), xeon_e5()
+    wan = WanLink(rate_mbps=50.0, rtt_s=0.03, usd_per_gb=0.08)
+
+    def sweep():
+        table = []
+        for selectivity in (0.001, 0.01, 0.1, 1.0):
+            scenario = EdgeScenario(
+                n_events=500_000, event_bytes=300, selectivity=selectivity
+            )
+            reports = evaluate_placements(scenario, edge, dc, wan)
+            winner = min(reports.values(), key=lambda r: r.latency_s)
+            table.append((selectivity, reports, winner.strategy))
+        return table
+
+    table = benchmark(sweep)
+    rows = []
+    for selectivity, reports, winner in table:
+        rows.append([
+            selectivity,
+            reports["edge-only"].latency_s,
+            reports["dc-only"].latency_s,
+            reports["split"].latency_s,
+            winner,
+        ])
+    print()
+    print(render_table(
+        ["selectivity", "edge-only (s)", "dc-only (s)", "split (s)",
+         "winner"],
+        rows,
+        title="X3: placement latency vs filter selectivity "
+              "(500k events, 50 Mb/s WAN)",
+    ))
+    winners = {selectivity: winner for selectivity, _, winner in table}
+    # Selective pipelines avoid shipping raw data; unselective ones
+    # centralize on the fast device.
+    assert winners[0.001] in ("split", "edge-only")
+    assert winners[1.0] != "split" or rows[-1][3] <= rows[-1][1]
+
+
+def test_bench_edge_wan_cost(benchmark):
+    edge, dc = arm_microserver(), xeon_e5()
+    scenario = EdgeScenario(n_events=500_000, event_bytes=300,
+                            selectivity=0.01)
+
+    def run():
+        return evaluate_placements(scenario, edge, dc)
+
+    reports = benchmark(run)
+    rows = [
+        [r.strategy, r.wan_bytes / 1e6, r.wan_cost_usd, r.energy_j]
+        for r in sorted(reports.values(), key=lambda r: r.strategy)
+    ]
+    print()
+    print(render_table(
+        ["strategy", "wan MB", "wan cost $", "energy J"], rows,
+        title="X3: backhaul and energy per placement",
+    ))
+    # Split ships 100x less than dc-only at 1% selectivity.
+    assert reports["split"].wan_bytes < 0.02 * reports["dc-only"].wan_bytes

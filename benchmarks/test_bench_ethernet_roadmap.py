@@ -1,0 +1,83 @@
+"""E9 -- SIV.A.3 / R3: the Ethernet bandwidth roadmap.
+
+Regenerates the generation table (volume year, $/Gbps, Gbps/W), the
+400GbE-after-2020 forecast, and the Bass-vs-logistic adoption ablation.
+"""
+
+from repro.core import BassModel, LogisticModel, commodity_year_forecast
+from repro.core.technology import get_technology
+from repro.network import (
+    ETHERNET_ROADMAP,
+    commodity_generation,
+    generations_by_year,
+)
+from repro.reporting import render_table
+
+
+def test_bench_generation_table(benchmark):
+    generations = benchmark(generations_by_year)
+    rows = [
+        [g.name, g.standard_year, g.volume_year, g.usd_per_gbps,
+         g.gbps_per_w, "yes" if g.photonic else "no"]
+        for g in generations
+    ]
+    print()
+    print(render_table(
+        ["generation", "standard", "volume year", "$/gbps", "gbps/w",
+         "photonic"],
+        rows,
+        title="E9: Ethernet generation roadmap (2016 view)",
+    ))
+    # R3 shape: 400GbE volume after 2020; photonics required beyond 100G.
+    assert ETHERNET_ROADMAP["400GbE"].volume_year > 2020
+    assert ETHERNET_ROADMAP["400GbE"].photonic
+    # Cost and energy efficiency improve monotonically.
+    cost = [g.usd_per_gbps for g in generations]
+    assert cost == sorted(cost, reverse=True)
+    efficiency = [g.gbps_per_w for g in generations]
+    assert efficiency == sorted(efficiency)
+    # R1 shape: 2016's commodity generation is 40GbE.
+    assert commodity_generation(2016).name == "40GbE"
+
+
+def test_bench_400gbe_trl_forecast(benchmark):
+    tech = get_technology("400gbe")
+
+    def forecast():
+        return {
+            "unfunded": commodity_year_forecast(tech.trl_2016, 1.0),
+            "eu-funded": commodity_year_forecast(tech.trl_2016, 1.8),
+        }
+
+    years = benchmark(forecast)
+    print()
+    print(render_table(
+        ["scenario", "commodity year"], sorted(years.items()),
+        title="E9: 400GbE commodity-year forecast (paper: after 2020)",
+    ))
+    assert years["unfunded"] > 2020
+    assert years["eu-funded"] < years["unfunded"]
+
+
+def test_bench_adoption_model_ablation(benchmark):
+    # Ablation: Bass vs logistic on time-to-30%-adoption.
+    bass = BassModel(p=0.02, q=0.4)
+    logistic = LogisticModel(midpoint_years=6.0, steepness=0.8)
+
+    def ablation():
+        return [
+            ["bass", bass.years_to_fraction(0.1), bass.years_to_fraction(0.3),
+             bass.years_to_fraction(0.6)],
+            ["logistic", logistic.years_to_fraction(0.1),
+             logistic.years_to_fraction(0.3),
+             logistic.years_to_fraction(0.6)],
+        ]
+
+    rows = benchmark(ablation)
+    print()
+    print(render_table(
+        ["model", "years to 10%", "years to 30%", "years to 60%"], rows,
+        title="E9 ablation: adoption-curve family",
+    ))
+    # Both agree within a couple of years at the 30% commodity point.
+    assert abs(rows[0][2] - rows[1][2]) < 3.0

@@ -1,0 +1,121 @@
+"""X5 -- extension: stragglers, failures and speculative execution.
+
+The framework substrate's reason to exist: BSP stages inherit the tail
+of their slowest host. Regenerates the stage-time distribution under a
+fault model and the speculative-execution mitigation, plus the caching
+speedup for iterative jobs (the Spark persist story).
+"""
+
+from repro.cluster import uniform_cluster
+from repro.engine import RandomStream
+from repro.frameworks import (
+    BatchExecutor,
+    FaultModel,
+    PartitionedDataset,
+    Plan,
+    bsp_stage_time,
+    caching_speedup,
+    speculation_benefit,
+)
+from repro.network import leaf_spine
+from repro.node import commodity_server, xeon_e5
+from repro.reporting import render_table
+
+
+def test_bench_speculative_execution(benchmark):
+    model = FaultModel(straggler_probability=0.08, straggler_slowdown=10.0,
+                       failure_probability=0.005)
+
+    def run():
+        return {
+            n_tasks: speculation_benefit(n_tasks, 10.0, model, rounds=25)
+            for n_tasks in (10, 50, 200)
+        }
+
+    results = benchmark(run)
+    rows = [
+        [n, r["plain_mean_s"], r["speculative_mean_s"], r["speedup"],
+         r["mean_copies"]]
+        for n, r in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        ["tasks/stage", "plain (s)", "speculative (s)", "speedup",
+         "backup copies"],
+        rows,
+        title="X5: BSP stage time under stragglers "
+              "(8% x10 stragglers, 0.5% failures)",
+    ))
+    # Bigger stages hit the straggler tail harder; speculation recovers
+    # narrow stages fully, but single-backup speculation fades on very
+    # wide stages (some backup straggles too) -- a real MapReduce-era
+    # phenomenon.
+    plains = [r["plain_mean_s"] for _, r in sorted(results.items())]
+    assert plains == sorted(plains)
+    assert results[10]["speedup"] > 1.3
+    assert results[50]["speedup"] > 1.3
+    assert results[200]["speedup"] >= 1.0
+
+
+def test_bench_straggler_tail_growth(benchmark):
+    model = FaultModel(straggler_probability=0.05, straggler_slowdown=8.0,
+                       failure_probability=0.0)
+
+    def run():
+        rows = []
+        for n_tasks in (1, 10, 100, 1000):
+            outcome = bsp_stage_time(
+                n_tasks, 10.0, model, RandomStream(77)
+            )
+            rows.append((n_tasks, outcome.stage_time_s))
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(render_table(
+        ["tasks/stage", "stage time (s)"], rows,
+        title="X5: stage time vs width (10 s tasks, 5% stragglers)",
+    ))
+    # Probability of >=1 straggler grows with width: time is monotone.
+    times = [t for _, t in rows]
+    assert times[-1] > times[0]
+
+
+def test_bench_iterative_caching(benchmark):
+    cluster = uniform_cluster(
+        leaf_spine(2, 2, 2), lambda: commodity_server(xeon_e5())
+    )
+    executor = BatchExecutor(cluster)
+    dataset = PartitionedDataset.from_records(
+        list(range(100_000)), 8, record_bytes=64
+    )
+    # Expensive preprocessing lineage, cheap per-iteration step.
+    base_plan = (
+        Plan.source()
+        .map(lambda x: x * 2, block="feature-extract")
+        .filter(lambda x: x % 3 != 0, block="filter-scan")
+    )
+
+    def step_factory(index):
+        return Plan.source().map(lambda x: x + index, block="filter-scan")
+
+    def run():
+        return {
+            n: caching_speedup(executor, base_plan, step_factory, dataset, n)
+            for n in (1, 5, 20)
+        }
+
+    results = benchmark(run)
+    rows = [
+        [n, r["uncached_s"], r["cached_s"], r["speedup"]]
+        for n, r in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        ["iterations", "uncached (s)", "cached (s)", "speedup"], rows,
+        title="X5: dataset caching for iterative jobs (Spark persist)",
+    ))
+    speedups = [r["speedup"] for _, r in sorted(results.items())]
+    # Caching speedup grows with iteration count.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0

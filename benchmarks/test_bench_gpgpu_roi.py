@@ -1,0 +1,90 @@
+"""E4 -- SIV.B.2: GPGPU ROI is negative for low-utilization deployments.
+
+Regenerates the NPV-vs-utilization sweep behind "small to medium-sized
+data center operators are unwilling to deploy GPGPUs at large scale, as
+the power consumption is too high and utilization too low to justify the
+investment".
+"""
+
+from dataclasses import replace
+
+from repro.econ import (
+    AcceleratorInvestment,
+    breakeven_speedup,
+    breakeven_utilization,
+)
+from repro.reporting import render_table
+
+
+def _sme_gpu_investment() -> AcceleratorInvestment:
+    return AcceleratorInvestment(
+        hardware_usd=50_000.0,  # a small GPU pod
+        port_effort_person_months=9.0,
+        speedup=4.0,
+        baseline_compute_value_usd_per_year=250_000.0,
+        accelerator_power_w=2_400.0,  # 8x 300 W boards
+        utilization=0.5,
+        horizon_years=3,
+    )
+
+
+def test_bench_roi_utilization_sweep(benchmark):
+    investment = _sme_gpu_investment()
+
+    def sweep():
+        return [
+            (u, replace(investment, utilization=u).npv_usd())
+            for u in (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+        ]
+
+    points = benchmark(sweep)
+    print()
+    print(render_table(
+        ["utilization", "NPV (USD)"], points,
+        title="E4: GPU adoption NPV vs utilization",
+    ))
+    # Shape: negative at SME utilizations, positive when heavily used.
+    assert points[0][1] < 0
+    assert points[-1][1] > 0
+    breakeven = breakeven_utilization(investment)
+    assert breakeven is not None and 0.05 < breakeven < 0.7
+    print(f"breakeven utilization: {breakeven:.2f}")
+
+
+def test_bench_roi_speedup_sensitivity(benchmark):
+    investment = _sme_gpu_investment()
+
+    def sweep():
+        rows = []
+        for utilization in (0.15, 0.3, 0.6):
+            k_star = breakeven_speedup(
+                replace(investment, utilization=utilization)
+            )
+            rows.append([utilization, k_star if k_star else float("inf")])
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        ["utilization", "breakeven speedup"], rows,
+        title="E4: required speedup vs utilization",
+    ))
+    # Lower utilization demands more speedup (or never pays back).
+    finite = [r[1] for r in rows if r[1] != float("inf")]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_bench_roi_port_cost_dominates_small_deployments(benchmark):
+    # Finding 2: "the person months required ... would [not] be worthwhile".
+    cheap_hw = AcceleratorInvestment(
+        hardware_usd=5_000.0,
+        port_effort_person_months=12.0,
+        speedup=3.0,
+        baseline_compute_value_usd_per_year=60_000.0,
+        utilization=0.4,
+    )
+    npv = benchmark(cheap_hw.npv_usd)
+    print(f"\nupfront: {cheap_hw.upfront_cost_usd:.0f} USD "
+          f"(hardware only {cheap_hw.hardware_usd:.0f}), NPV: {npv:.0f} USD")
+    assert cheap_hw.upfront_cost_usd > 2 * cheap_hw.hardware_usd
+    assert not cheap_hw.worthwhile()

@@ -1,0 +1,68 @@
+"""X8 -- extension: the 2016 roadmap scored against the actual decade.
+
+The paper's horizon was "the next 10 years"; from 2026 that decade is
+ground truth. Regenerates the forecast-vs-actual table and the risk
+calibration check -- did the roadmap's risk ratings predict which bets
+would slip?
+"""
+
+from repro.core import (
+    Outcome,
+    forecast_error_summary,
+    hindsight_report,
+    risk_calibration,
+)
+from repro.reporting import render_table
+
+
+def test_bench_hindsight_table(benchmark):
+    scores = benchmark(hindsight_report)
+    rows = [
+        [
+            s.technology,
+            s.forecast_year,
+            s.actual_year if s.actual_year is not None else "-",
+            s.outcome.value,
+            f"{s.error_years:+.0f}" if s.error_years is not None else "-",
+        ]
+        for s in scores
+    ]
+    print()
+    print(render_table(
+        ["technology", "2016 forecast", "actual", "outcome", "error (y)"],
+        rows,
+        title="X8: the roadmap's decade, scored from 2026",
+    ))
+    by_name = {s.technology: s for s in scores}
+    # The headline 2016 calls that held:
+    assert by_name["400gbe"].actual_year > 2020  # "after 2020"
+    assert by_name["neuromorphic"].outcome == Outcome.NOT_YET
+    assert by_name["sip-chiplets"].outcome == Outcome.COMMODITY  # the big win
+    assert by_name["nvm"].outcome == Outcome.WITHDRAWN  # the big miss
+
+
+def test_bench_forecast_error(benchmark):
+    summary = benchmark(forecast_error_summary)
+    print()
+    print(render_table(
+        ["metric", "value"], sorted(summary.items()),
+        title="X8: aggregate forecast quality",
+    ))
+    # Arrived technologies were forecast to within ~2.5 years on average.
+    assert summary["mean_abs_error_years"] < 2.5
+    assert summary["n_scored"] >= 15
+    assert summary["n_not_yet"] == 1  # neuromorphic
+
+
+def test_bench_risk_calibration(benchmark):
+    calibration = benchmark(risk_calibration)
+    print()
+    print(render_table(
+        ["cohort", "mean catalog risk"], sorted(calibration.items()),
+        title="X8: was the risk rating informative?",
+    ))
+    # Troubled (late/never/withdrawn) bets carried higher assessed risk.
+    assert (
+        calibration["mean_risk_troubled"]
+        > calibration["mean_risk_on_time"]
+    )

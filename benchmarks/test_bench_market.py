@@ -1,0 +1,56 @@
+"""E13 -- SIV.B.2 / Finding 4: market concentration and lock-in.
+
+Regenerates the concentration table (Nvidia >95% of GPU TOP500, Intel's
+server dominance) and the lock-in premium calculation behind the
+vendor-switch NRE argument.
+"""
+
+from repro.ecosystem import MARKETS_2016, concentration_report, lock_in_premium
+from repro.reporting import render_records, render_table
+
+
+def test_bench_market_concentration(benchmark):
+    report = benchmark(concentration_report)
+    print()
+    print(render_records(
+        report,
+        columns=["market", "leader", "leader_share", "hhi",
+                 "highly_concentrated"],
+        title="E13: 2016 market concentration",
+    ))
+    by_market = {row["market"]: row for row in report}
+    # Paper claims: Nvidia >95%, Intel dominant; both highly concentrated.
+    assert by_market["gpgpu-top500"]["leader_share"] > 0.95
+    assert by_market["gpgpu-top500"]["hhi"] > 9_000
+    assert by_market["server-cpu"]["leader"] == "intel"
+    assert by_market["server-cpu"]["hhi"] > 9_000
+    # The switch market (with white-box entrants) is visibly less locked.
+    assert by_market["datacenter-switch"]["hhi"] < 4_000
+
+
+def test_bench_lock_in_premium(benchmark):
+    market = MARKETS_2016["gpgpu-top500"]
+
+    def sweep():
+        return [
+            (kloc, lock_in_premium(market, kloc, annual_license_usd=250_000.0))
+            for kloc in (50.0, 200.0, 1_000.0)
+        ]
+
+    rows = benchmark(sweep)
+    printable = [
+        [kloc, r["switching_cost_usd"], r["annual_premium_usd"],
+         r["years_protected"]]
+        for kloc, r in rows
+    ]
+    print()
+    print(render_table(
+        ["codebase kloc", "switching NRE $", "annual premium $",
+         "years protected"],
+        printable,
+        title="E13: vendor lock-in economics (CUDA codebases)",
+    ))
+    # Bigger codebases protect the incumbent longer.
+    years = [r["years_protected"] for _, r in rows]
+    assert years == sorted(years)
+    assert years[0] > 1.0

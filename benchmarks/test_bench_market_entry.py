@@ -1,0 +1,55 @@
+"""X4 -- extension: a new European FPGA entrant (R6's closing ask).
+
+Regenerates the entrant business case: break-even year vs public subsidy
+for a 16 nm FPGA vendor with a credible toolchain investment.
+"""
+
+from repro.ecosystem import eu_fpga_entrant, subsidy_sensitivity
+from repro.reporting import render_table
+
+
+def test_bench_entrant_breakeven_vs_subsidy(benchmark):
+    subsidies = [0.0, 50e6, 100e6, 200e6]
+
+    def run():
+        return subsidy_sensitivity(subsidies)
+
+    results = benchmark(run)
+    rows = [
+        [f"{subsidy/1e6:.0f}",
+         f"{year:.1f}" if year is not None else "never (15y horizon)"]
+        for subsidy, year in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        ["subsidy (MEUR-equivalent USD)", "break-even year"], rows,
+        title="X4: EU FPGA entrant break-even vs subsidy",
+    ))
+    years = [results[s] for s in subsidies]
+    finite = [y for y in years if y is not None]
+    # Subsidy strictly accelerates break-even.
+    assert finite == sorted(finite, reverse=True)
+    assert len(finite) >= 2
+
+
+def test_bench_entrant_cost_structure(benchmark):
+    plan = eu_fpga_entrant()
+
+    def run():
+        return {
+            "upfront_usd": plan.upfront_investment_usd(),
+            "year3_revenue": plan.revenue_usd_in_year(3.0),
+            "year8_revenue": plan.revenue_usd_in_year(8.0),
+            "contribution_10y": plan.cumulative_contribution_usd(10.0),
+        }
+
+    numbers = benchmark(run)
+    print()
+    print(render_table(
+        ["metric", "USD"], sorted(numbers.items()),
+        title="X4: entrant economics (unsubsidized)",
+    ))
+    # The toolchain-heavy upfront runs to nine figures -- the reason the
+    # paper says Europe must "encourage" the entrant.
+    assert numbers["upfront_usd"] > 8e7
+    assert numbers["year8_revenue"] > numbers["year3_revenue"]

@@ -1,0 +1,110 @@
+"""E15 -- SIV.C: too many abstractions.
+
+Regenerates the abstraction-coverage matrix (which programming models
+reach which devices, and how well), the porting-strategy cost/throughput
+trade-off, and the R6 what-if (better FPGA tools).
+"""
+
+from repro.node import (
+    AbstractionMatrix,
+    PortingStrategy,
+    ProgrammingModel,
+    achievable_throughput_fraction,
+    arria10_fpga,
+    default_registry,
+    hls_uplift_scenario,
+    port_effort_person_months,
+)
+from repro.reporting import render_table
+
+
+def test_bench_abstraction_matrix(benchmark):
+    devices = list(default_registry())
+    matrix = AbstractionMatrix(devices)
+
+    def build():
+        return {
+            model: matrix.coverage(model)
+            for model in ProgrammingModel
+        }
+
+    coverage = benchmark(build)
+    rows = []
+    for model in ProgrammingModel:
+        per_device = coverage[model]
+        reached = sum(1 for v in per_device.values() if v > 0)
+        mean_eff = sum(per_device.values()) / len(per_device)
+        rows.append([model.value, reached, len(devices), mean_eff])
+    print()
+    print(render_table(
+        ["model", "devices reached", "of", "mean efficiency"], rows,
+        title="E15: programming-model coverage of the device catalog",
+    ))
+    best_model, reached, _ = matrix.best_universal_model()
+    print(f"best universal model: {best_model.value} "
+          f"({reached}/{len(devices)} devices), "
+          f"fragmentation index: {matrix.fragmentation_index():.2f}")
+    # The SIV.C claim: OpenCL is the widest net yet misses devices.
+    assert best_model == ProgrammingModel.OPENCL
+    assert reached < len(devices)
+
+
+def test_bench_porting_strategies(benchmark):
+    devices = list(default_registry())
+    n_kernels = 10
+
+    def sweep():
+        rows = []
+        for name in ("cpu_only", "portable_kernel", "native_everywhere"):
+            strategy = PortingStrategy(name)
+            effort = port_effort_person_months(strategy, n_kernels, devices)
+            mean_throughput = sum(
+                achievable_throughput_fraction(strategy, d) for d in devices
+            ) / len(devices)
+            rows.append((name, effort, mean_throughput))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        ["strategy", "effort (person-months)", "mean device throughput frac"],
+        rows,
+        title=f"E15: porting {n_kernels} kernels to the full catalog",
+    ))
+    efforts = {name: effort for name, effort, _ in rows}
+    # Native everywhere costs an order of magnitude more than portable.
+    assert efforts["native_everywhere"] > 10 * efforts["portable_kernel"]
+    assert efforts["cpu_only"] == 0.0
+
+
+def test_bench_hls_uplift_scenario(benchmark):
+    fpga = arria10_fpga()
+
+    def what_if():
+        better = hls_uplift_scenario(fpga)
+        portable = PortingStrategy("portable_kernel")
+        return {
+            "today": (
+                fpga.programmability.port_effort_person_months,
+                achievable_throughput_fraction(portable, fpga),
+            ),
+            "with R6 tooling": (
+                better.programmability.port_effort_person_months,
+                achievable_throughput_fraction(portable, better),
+            ),
+        }
+
+    scenario = benchmark(what_if)
+    rows = [
+        [label, effort, fraction]
+        for label, (effort, fraction) in scenario.items()
+    ]
+    print()
+    print(render_table(
+        ["scenario", "port effort (pm)", "portable efficiency"], rows,
+        title="E15: Recommendation 6 what-if (FPGA programmability)",
+    ))
+    today = scenario["today"]
+    improved = scenario["with R6 tooling"]
+    assert improved[0] < today[0] / 2
+    assert improved[1] > today[1]

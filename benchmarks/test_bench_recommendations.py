@@ -1,0 +1,88 @@
+"""E16 -- SV.B: the twelve recommendations, scored and portfolio-selected.
+
+Regenerates the recommendation ranking from survey + catalog evidence and
+the budget-constrained funding portfolio (knapsack vs greedy ablation).
+"""
+
+from repro.core import (
+    RECOMMENDATIONS,
+    build_roadmap,
+    greedy_portfolio,
+    optimize_portfolio,
+    score_all,
+)
+from repro.reporting import render_table
+from repro.survey import generate_corpus
+
+
+def test_bench_recommendation_ranking(benchmark):
+    corpus = generate_corpus()
+    scored = benchmark(score_all, corpus)
+    rows = [
+        [
+            s.recommendation.rec_id,
+            s.recommendation.title[:52],
+            s.evidence_score,
+            s.strategic_score,
+            s.urgency_score,
+            s.priority,
+        ]
+        for s in scored
+    ]
+    print()
+    print(render_table(
+        ["R", "title", "evidence", "strategic", "urgency", "priority"],
+        rows,
+        title="E16: the twelve recommendations, priority-ranked",
+    ))
+    assert len(scored) == 12
+    top_ids = {s.recommendation.rec_id for s in scored[:6]}
+    assert 9 in top_ids  # standard benchmarks
+    assert 4 in top_ids  # accelerator de-risking
+    bottom_ids = {s.recommendation.rec_id for s in scored[-4:]}
+    assert 7 in bottom_ids  # neuromorphic is long-horizon
+
+
+def test_bench_portfolio_optimization(benchmark):
+    corpus = generate_corpus()
+    scored = score_all(corpus)
+
+    def sweep():
+        return [
+            (budget,
+             optimize_portfolio(scored, budget),
+             greedy_portfolio(scored, budget))
+            for budget in (50.0, 100.0, 200.0, 335.0)
+        ]
+
+    results = benchmark(sweep)
+    rows = [
+        [budget, exact.total_priority, greedy.total_priority,
+         ",".join(str(i) for i in exact.rec_ids)]
+        for budget, exact, greedy in results
+    ]
+    print()
+    print(render_table(
+        ["budget (MEUR)", "knapsack priority", "greedy priority", "funded"],
+        rows,
+        title="E16: funding portfolio vs budget",
+    ))
+    for _, exact, greedy in results:
+        assert exact.total_priority >= greedy.total_priority - 1e-9
+    # The full-budget portfolio funds everything (total cost 335 MEUR).
+    assert len(results[-1][1].selected) == len(RECOMMENDATIONS)
+
+
+def test_bench_full_roadmap_pipeline(benchmark):
+    roadmap = benchmark(build_roadmap)
+    rows = [
+        [m.technology, f"{m.year:.1f}"]
+        for m in sorted(roadmap.milestones, key=lambda m: m.year)
+    ]
+    print()
+    print(render_table(
+        ["technology", "commodity year (funded)"], rows,
+        title="E16: technology milestone forecast",
+    ))
+    assert roadmap.findings_hold
+    assert roadmap.milestone_for("400gbe").year > 2020

@@ -1,0 +1,77 @@
+"""X1 -- extension: fabric resilience under failures.
+
+The disaggregation vision (§IV.A.3) puts memory across the fabric, which
+only works if the fabric degrades gracefully. Regenerates the
+progressive-failure bisection curve and per-role single-failure impact
+for fat-tree and leaf-spine designs.
+"""
+
+from repro.network import (
+    fat_tree,
+    leaf_spine,
+    progressive_link_failures,
+    single_switch_failure_impact,
+)
+from repro.reporting import render_table
+
+
+def test_bench_progressive_failures(benchmark):
+    # k=6: each ToR has 3 uplinks, so random core failures degrade
+    # capacity long before they can partition the fabric.
+    fabric = fat_tree(6)
+
+    def run():
+        return progressive_link_failures(
+            fabric, n_steps=8, links_per_step=2, seed=11
+        )
+
+    points = benchmark(run)
+    rows = [
+        [p.failures, "yes" if p.connected else "no", p.bisection_gbps,
+         f"{p.bisection_fraction:.0%}"]
+        for p in points
+    ]
+    print()
+    print(render_table(
+        ["failed links", "connected", "bisection gbps", "fraction"],
+        rows,
+        title="X1: fat-tree k=6 under progressive core-link failures",
+    ))
+    # Graceful degradation: still connected, monotone fraction, and
+    # 16 failed links (~15% of the core) cost well under half the
+    # bisection -- path diversity at work.
+    assert all(p.connected for p in points)
+    fractions = [p.bisection_fraction for p in points]
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[-1] > 0.5
+
+
+def test_bench_single_failure_impact(benchmark):
+    fabrics = {
+        "fat-tree k=4": fat_tree(4),
+        "leaf-spine 4x2x16 (balanced)": leaf_spine(4, 2, 16),
+        "leaf-spine 2x2x16 (oversub)": leaf_spine(2, 2, 16),
+    }
+
+    def run():
+        return {
+            name: single_switch_failure_impact(fabric)
+            for name, fabric in fabrics.items()
+        }
+
+    impacts = benchmark(run)
+    rows = []
+    for name, impact in impacts.items():
+        for role, fraction in sorted(impact.items()):
+            rows.append([name, role, f"{fraction:.0%}"])
+    print()
+    print(render_table(
+        ["fabric", "failed role (worst case)", "bisection left"], rows,
+        title="X1: worst-case single-switch failure",
+    ))
+    # Fat-tree loses least to a core failure; fewer spines hurt more.
+    assert impacts["fat-tree k=4"]["core"] >= 0.7
+    assert (
+        impacts["leaf-spine 2x2x16 (oversub)"]["agg"]
+        < impacts["leaf-spine 4x2x16 (balanced)"]["agg"]
+    )

@@ -1,0 +1,53 @@
+"""X6 -- extension: forecast uncertainty and the value of funding.
+
+Regenerates the Monte-Carlo commodity-year bands per technology and the
+funded-vs-unfunded years-gained table -- the quantified version of the
+roadmap's pitch to the Commission.
+"""
+
+from repro.core import forecast_uncertainty_table, investment_impact
+from repro.reporting import render_table
+
+TECHS = ["10-40gbe", "sdn", "fpga-accel", "400gbe", "neuromorphic"]
+
+
+def test_bench_forecast_uncertainty(benchmark):
+    table = benchmark(
+        forecast_uncertainty_table, TECHS, 1.0, 300
+    )
+    rows = [
+        [d.technology, f"{d.p10:.0f}", f"{d.p50:.0f}", f"{d.p90:.0f}",
+         f"{d.spread_years:.1f}"]
+        for d in table
+    ]
+    print()
+    print(render_table(
+        ["technology", "p10", "p50", "p90", "band (years)"], rows,
+        title="X6: commodity-year forecast distributions (unfunded)",
+    ))
+    bands = {d.technology: d.spread_years for d in table}
+    # Risk drives the honesty band: neuromorphic's dwarfs mature tech's.
+    assert bands["neuromorphic"] > 3 * bands["10-40gbe"]
+    medians = {d.technology: d.p50 for d in table}
+    assert medians["400gbe"] > 2020  # the R3 claim survives uncertainty
+
+
+def test_bench_investment_impact(benchmark):
+    impacts = benchmark(investment_impact, 1.8, TECHS, 300)
+    rows = [
+        [i.technology, f"{i.unfunded_year:.0f}", f"{i.funded_year:.0f}",
+         f"{i.years_gained:.1f}"]
+        for i in impacts
+    ]
+    print()
+    print(render_table(
+        ["technology", "unfunded", "funded (1.8x)", "years gained"], rows,
+        title="X6: what coordinated EU funding buys",
+    ))
+    # Funding cannot accelerate already-commodity technology (TRL 9);
+    # everything still maturing gains, immature tech gains the most.
+    by_name = {i.technology: i.years_gained for i in impacts}
+    assert by_name["10-40gbe"] == 0.0
+    for name in ("sdn", "fpga-accel", "400gbe", "neuromorphic"):
+        assert by_name[name] > 0
+    assert by_name["neuromorphic"] > by_name["sdn"]

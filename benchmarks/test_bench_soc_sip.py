@@ -1,0 +1,88 @@
+"""E5 -- SIV.B.3: SoC vs SiP economics.
+
+Regenerates the per-unit cost-vs-volume sweep, the crossover volume, and
+the interface-upgrade cost comparison; plus the yield-model ablation.
+Paper shape: SiP wins at SME volumes ("may give smaller companies a
+better opportunity to compete"), SoC interface changes "require a costly
+redesign".
+"""
+
+import pytest
+
+from repro.econ import (
+    PROCESS_CATALOG,
+    die_cost_usd,
+    euroserver_reference_design,
+)
+from repro.reporting import render_table
+
+
+def _design():
+    return euroserver_reference_design(
+        PROCESS_CATALOG["16nm"], PROCESS_CATALOG["28nm"]
+    )
+
+
+def test_bench_soc_sip_volume_sweep(benchmark):
+    design = _design()
+
+    def sweep():
+        return [
+            (volume, design.cost_per_unit_at_volume(volume))
+            for volume in (1e4, 1e5, 1e6, 1e7, 1e8)
+        ]
+
+    points = benchmark(sweep)
+    rows = [
+        [f"{volume:.0e}", costs["soc"], costs["sip"],
+         "sip" if costs["sip"] < costs["soc"] else "soc"]
+        for volume, costs in points
+    ]
+    print()
+    print(render_table(
+        ["volume", "soc $/unit", "sip $/unit", "winner"], rows,
+        title="E5: per-unit cost vs lifetime volume",
+    ))
+    crossover = design.crossover_volume()
+    print(f"crossover volume: {crossover:.3e} units")
+    # Shape: SiP cheap at low volume, SoC at hyperscale, crossover between.
+    assert rows[0][3] == "sip"
+    assert rows[-1][3] == "soc"
+    assert crossover is not None and 1e5 < crossover < 1e8
+
+
+def test_bench_interface_upgrade_cost(benchmark):
+    design = _design()
+    costs = benchmark(design.interface_upgrade_cost_usd, "network-io")
+    print()
+    print(render_table(
+        ["style", "40GbE interface upgrade (USD)"],
+        sorted(costs.items()),
+        title="E5: cost of adding a new I/O interface",
+    ))
+    # SiP swaps one chiplet (cheap mask, small design); the SoC re-spins
+    # and re-verifies the whole leading-edge die.
+    assert costs["sip"] < 0.5 * costs["soc"]
+
+
+def test_bench_yield_model_ablation(benchmark):
+    node = PROCESS_CATALOG["16nm"]
+
+    def ablation():
+        return [
+            (area,
+             die_cost_usd(area, node, yield_model="negative_binomial"),
+             die_cost_usd(area, node, yield_model="poisson"))
+            for area in (100.0, 300.0, 600.0)
+        ]
+
+    rows = benchmark(ablation)
+    print()
+    print(render_table(
+        ["die mm^2", "neg-binomial $", "poisson $"], rows,
+        title="E5 ablation: yield model choice",
+    ))
+    # Poisson (no clustering) always costs more; gap widens with area.
+    gaps = [poisson / nb for _, nb, poisson in rows]
+    assert all(g > 1.0 for g in gaps)
+    assert gaps == sorted(gaps)

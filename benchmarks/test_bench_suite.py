@@ -1,0 +1,113 @@
+"""E12 -- R9: the standard benchmark suite across architectures.
+
+Regenerates the side-by-side architecture comparison the paper says
+industry lacks: five workloads, four architectures, one table.
+"""
+
+from repro.cluster import uniform_cluster
+from repro.frameworks import cpu_only, greedy_energy, greedy_time
+from repro.network import leaf_spine
+from repro.node import (
+    accelerated_server,
+    arria10_fpga,
+    commodity_server,
+    nvidia_k80,
+    xeon_e5,
+)
+from repro.reporting import render_table
+from repro.workloads import compare_architectures
+
+
+def _configurations():
+    fabric = lambda: leaf_spine(2, 2, 2)
+    return {
+        "cpu": (
+            uniform_cluster(fabric(), lambda: commodity_server(xeon_e5())),
+            cpu_only(),
+        ),
+        "cpu+gpu": (
+            uniform_cluster(
+                fabric(), lambda: accelerated_server(xeon_e5(), nvidia_k80())
+            ),
+            greedy_time(),
+        ),
+        "cpu+fpga": (
+            uniform_cluster(
+                fabric(), lambda: accelerated_server(xeon_e5(), arria10_fpga())
+            ),
+            greedy_time(),
+        ),
+        "cpu+fpga (energy)": (
+            uniform_cluster(
+                fabric(), lambda: accelerated_server(xeon_e5(), arria10_fpga())
+            ),
+            greedy_energy(),
+        ),
+    }
+
+
+def test_bench_suite_comparison(benchmark):
+    results = benchmark(compare_architectures, _configurations(), 20)
+    benchmarks = [s.benchmark for s in results["cpu"]]
+    rows = []
+    for bench_name in benchmarks:
+        row = [bench_name]
+        for arch in results:
+            score = next(
+                s for s in results[arch] if s.benchmark == bench_name
+            )
+            row.append(score.sim_time_s)
+        rows.append(row)
+    print()
+    print(render_table(
+        ["workload"] + list(results), rows,
+        title="E12: suite sim time (s) across architectures (scale 20)",
+    ))
+    times = {
+        (arch, s.benchmark): s.sim_time_s
+        for arch, scores in results.items()
+        for s in scores
+    }
+    # Shape: accelerators win the acceleratable workloads...
+    assert times[("cpu+fpga", "wordcount")] < times[("cpu", "wordcount")]
+    assert times[("cpu+gpu", "kmeans")] <= times[("cpu", "kmeans")]
+    # ...and never make results wrong (identical record counts).
+    for bench_name in benchmarks:
+        counts = {
+            arch: next(
+                s for s in results[arch] if s.benchmark == bench_name
+            ).n_output_records
+            for arch in results
+        }
+        assert len(set(counts.values())) == 1, (bench_name, counts)
+
+
+def test_bench_suite_energy_ranking(benchmark):
+    results = benchmark(
+        compare_architectures,
+        {
+            name: config
+            for name, config in _configurations().items()
+            if name in ("cpu", "cpu+fpga (energy)")
+        },
+        20,
+    )
+    rows = []
+    for bench_name in [s.benchmark for s in results["cpu"]]:
+        cpu_energy = next(
+            s for s in results["cpu"] if s.benchmark == bench_name
+        ).energy_j
+        fpga_energy = next(
+            s
+            for s in results["cpu+fpga (energy)"]
+            if s.benchmark == bench_name
+        ).energy_j
+        rows.append([bench_name, cpu_energy, fpga_energy])
+    print()
+    print(render_table(
+        ["workload", "cpu energy (J)", "fpga-energy-policy (J)"], rows,
+        title="E12: energy comparison",
+    ))
+    # The energy policy never loses on the regex-heavy workload.
+    wordcount = next(r for r in rows if r[0] == "wordcount")
+    assert wordcount[2] <= wordcount[1]

@@ -1,0 +1,43 @@
+"""E1 -- SV.A: the survey's headline numbers and four Key Findings.
+
+Regenerates the abstract's counts (89 interviews / 70 companies), the
+sector mix, and the per-finding supporting statistics.
+"""
+
+from repro.reporting import render_table
+from repro.survey import (
+    generate_corpus,
+    headline_counts,
+    key_findings,
+    sector_mix,
+)
+
+
+def test_bench_survey_findings(benchmark):
+    def pipeline():
+        corpus = generate_corpus()
+        return corpus, key_findings(corpus)
+
+    corpus, findings = benchmark(pipeline)
+    counts = headline_counts(corpus)
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [["interviews", counts["n_interviews"]],
+         ["companies", counts["n_companies"]]],
+        title="E1: headline counts (paper: 89 / 70)",
+    ))
+    print(render_table(
+        ["sector", "companies"], sorted(sector_mix(corpus).items()),
+        title="E1: sector mix",
+    ))
+    rows = []
+    for finding in findings:
+        for stat, value in sorted(finding.statistics.items()):
+            rows.append([finding.finding_id, stat, value, finding.holds])
+    print(render_table(
+        ["finding", "statistic", "value", "holds"], rows,
+        title="E1: key findings",
+    ))
+    assert counts == {"n_interviews": 89, "n_companies": 70}
+    assert all(f.holds for f in findings)

@@ -1,0 +1,74 @@
+"""E6 -- SIV.A.1: branded vs white-box vs bare-metal switch TCO.
+
+Regenerates the five-year fleet TCO sweep. Paper shape: commodity
+(bare-metal/white-box) procurement undercuts branded switching, but the
+Facebook-style in-house NOS only pays at hyperscale fleet sizes.
+"""
+
+from repro.network import (
+    bare_metal_switch,
+    branded_switch,
+    fleet_tco_usd,
+    white_box_switch,
+)
+from repro.reporting import render_table
+
+
+def test_bench_fleet_tco_sweep(benchmark):
+    models = {
+        "branded": branded_switch(),
+        "white-box": white_box_switch(),
+        "bare-metal": bare_metal_switch(),
+    }
+
+    def sweep():
+        table = []
+        for fleet in (50, 200, 1_000, 5_000, 20_000):
+            row = {"fleet": fleet}
+            for name, model in models.items():
+                row[name] = fleet_tco_usd(model, fleet) / fleet
+            table.append(row)
+        return table
+
+    table = benchmark(sweep)
+    rows = [
+        [r["fleet"], r["branded"], r["white-box"], r["bare-metal"],
+         min(("branded", "white-box", "bare-metal"), key=lambda k: r[k])]
+        for r in table
+    ]
+    print()
+    print(render_table(
+        ["fleet size", "branded $/sw", "white-box $/sw", "bare-metal $/sw",
+         "winner"],
+        rows,
+        title="E6: 5-year TCO per switch vs fleet size",
+    ))
+    # Shape: branded never wins; bare metal only wins at hyperscale.
+    assert all(r[4] != "branded" for r in rows)
+    assert rows[0][4] == "white-box"
+    assert rows[-1][4] == "bare-metal"
+
+
+def test_bench_tco_breakdown(benchmark):
+    def breakdown():
+        rows = []
+        for model in (branded_switch(), white_box_switch(),
+                      bare_metal_switch()):
+            tco = model.tco(5.0)
+            labels = tco.by_label()
+            rows.append([
+                model.name, labels["hardware"], labels["nos-license"],
+                labels["vendor-support"] + labels["nos-support"],
+                labels["energy"], tco.total_usd,
+            ])
+        return rows
+
+    rows = benchmark(breakdown)
+    print()
+    print(render_table(
+        ["model", "hw $", "nos $", "support $", "energy $", "total $"],
+        rows,
+        title="E6: per-switch TCO breakdown (5 years)",
+    ))
+    totals = {row[0]: row[5] for row in rows}
+    assert totals["branded-tor"] == max(totals.values())

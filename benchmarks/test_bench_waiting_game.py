@@ -1,0 +1,63 @@
+"""X9 -- extension: the wait-for-commodity coordination game.
+
+Finding 2 says European firms wait for commodity pricing; Wright's law
+says prices only fall when someone buys. Regenerates the adoption
+cascade as a function of EU-funded seed volume -- the mechanism behind
+R1's "connect these companies to end users" and R4's pilot projects.
+"""
+
+from repro.core import (
+    WaitingGameConfig,
+    minimum_seed_for_takeoff,
+    simulate_waiting_game,
+)
+from repro.reporting import render_table
+
+
+def test_bench_seed_volume_sweep(benchmark):
+    config = WaitingGameConfig()
+
+    def sweep():
+        return {
+            seed: simulate_waiting_game(config, seed)
+            for seed in (0.0, 20_000.0, 60_000.0, 100_000.0, 200_000.0)
+        }
+
+    results = benchmark(sweep)
+    rows = [
+        [
+            f"{seed:,.0f}",
+            result.adoption_by_round[-1],
+            f"{result.final_adoption_fraction:.0%}",
+            f"{result.price_by_round[-1]:,.0f}",
+            "stalled" if result.stalled else "cascaded",
+        ]
+        for seed, result in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        ["seed units", "adopters (of 200)", "fraction", "final price $",
+         "outcome"],
+        rows,
+        title="X9: adoption cascade vs EU seed volume",
+    ))
+    # The Finding-2 equilibrium: zero seed, zero adoption, launch price.
+    assert results[0.0].adoption_by_round[-1] == 0
+    # Enough seed flips the market.
+    assert not results[200_000.0].stalled
+    # Adoption is monotone in seed volume.
+    adoption = [r.adoption_by_round[-1] for _, r in sorted(results.items())]
+    assert adoption == sorted(adoption)
+
+
+def test_bench_minimum_takeoff_seed(benchmark):
+    config = WaitingGameConfig()
+    seed = benchmark(minimum_seed_for_takeoff, config)
+    cascade = simulate_waiting_game(config, seed)
+    print(f"\nminimum take-off seed: {seed:,.0f} units "
+          f"({seed / config.base_volume_units:.1f}x the installed base); "
+          f"cascade reaches {cascade.final_adoption_fraction:.0%} adoption "
+          f"in {len(cascade.adoption_by_round)} rounds")
+    assert seed is not None
+    assert 1_000 < seed < 500_000
+    assert not cascade.stalled

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Should a European SME adopt an accelerator? (§IV.B / R4 end to end).
+
+Walks the full decision the roadmap says Europe gets wrong today:
+
+1. Characterize the workload's kernels (roofline).
+2. Compare candidate devices on throughput AND energy AND price.
+3. Price the software port (programming-model matrix).
+4. Run the ROI calculus at the SME's actual utilization.
+5. Check the schedule impact on the real pipeline (HEFT).
+
+Run:  python examples/accelerator_decision.py
+"""
+
+from repro.analytics import best_device_for_block, default_blocks
+from repro.econ import AcceleratorInvestment, breakeven_utilization
+from repro.node import (
+    Kernel,
+    arria10_fpga,
+    execution_time_s,
+    inference_asic,
+    nvidia_k80,
+    speedup,
+    xeon_e5,
+)
+from repro.reporting import render_table
+from repro.scheduler import Executor, HeterogeneousScheduler, chain_job
+
+
+def kernel_characterization() -> None:
+    """Where do the SME's kernels sit on the roofline?"""
+    print("=== 1. Workload characterization ===")
+    kernels = {
+        "etl-scan": Kernel("etl-scan", ops=1e12, bytes_moved=8e12),
+        "scoring-gemm": Kernel("scoring-gemm", ops=1e13, bytes_moved=8e10),
+        "text-extract": Kernel("text-extract", ops=4e12, bytes_moved=4e10),
+    }
+    cpu = xeon_e5()
+    rows = []
+    for name, kernel in kernels.items():
+        rows.append([
+            name, kernel.intensity,
+            "compute" if kernel.intensity > cpu.ridge_intensity else "memory",
+            execution_time_s(kernel, cpu),
+        ])
+    print(render_table(
+        ["kernel", "ops/byte", "bound by", "cpu time (s)"], rows,
+    ))
+    print()
+
+
+def device_shootout() -> None:
+    """Throughput and energy per candidate device per building block."""
+    print("=== 2. Device shootout (per building block) ===")
+    registry = default_blocks()
+    devices = [xeon_e5(), nvidia_k80(), arria10_fpga(), inference_asic()]
+    rows = []
+    for block_name in ("filter-scan", "dense-gemm", "regex-extract"):
+        block = registry.get(block_name)
+        fastest = best_device_for_block(block, devices, objective="time")
+        frugal = best_device_for_block(block, devices, objective="energy")
+        rows.append([block_name, fastest.name, frugal.name])
+    print(render_table(
+        ["building block", "fastest device", "most energy-efficient"], rows,
+    ))
+    print()
+
+
+def port_cost_and_roi() -> None:
+    """The Finding-2 calculus, at the SME's numbers."""
+    print("=== 3. Port cost and ROI ===")
+    fpga = arria10_fpga()
+    gpu = nvidia_k80()
+    scoring = Kernel("scoring-gemm", ops=1e13, bytes_moved=8e10)
+    rows = []
+    for device in (gpu, fpga):
+        gain = speedup(scoring, device, xeon_e5())
+        investment = AcceleratorInvestment(
+            hardware_usd=device.price_usd * 4,
+            port_effort_person_months=(
+                device.programmability.port_effort_person_months * 2
+            ),
+            speedup=gain,
+            baseline_compute_value_usd_per_year=180_000.0,
+            accelerator_power_w=device.tdp_w * 4,
+            utilization=0.35,  # the honest SME number
+        )
+        u_star = breakeven_utilization(investment)
+        rows.append([
+            device.name, f"{gain:.1f}x",
+            investment.upfront_cost_usd,
+            investment.npv_usd(),
+            "yes" if investment.worthwhile() else "no",
+            f"{u_star:.2f}" if u_star is not None else "never",
+        ])
+    print(render_table(
+        ["device", "speedup", "upfront $", "NPV $", "adopt?",
+         "breakeven util"],
+        rows,
+    ))
+    print()
+
+
+def schedule_impact() -> None:
+    """What the accelerator does to the nightly pipeline's makespan."""
+    print("=== 4. Pipeline schedule impact ===")
+    job = chain_job(
+        "nightly", ["filter-scan", "regex-extract", "dense-gemm", "sort"],
+        5_000_000,
+    )
+    cpu_pool = [Executor("cpu0", "h0", xeon_e5()),
+                Executor("cpu1", "h1", xeon_e5())]
+    accel_pool = cpu_pool + [Executor("fpga0", "h0", arria10_fpga()),
+                             Executor("gpu0", "h1", nvidia_k80())]
+    rows = []
+    for label, pool in (("2x cpu", cpu_pool), ("+fpga +gpu", accel_pool)):
+        scheduler = HeterogeneousScheduler(pool)
+        makespan = scheduler.heft(job).makespan_s
+        rows.append([label, makespan])
+    print(render_table(["pool", "nightly makespan (s)"], rows))
+    gain = rows[0][1] / rows[1][1]
+    print(f"-> accelerators cut the nightly pipeline {gain:.1f}x "
+          "(HEFT placement)")
+
+
+def main() -> None:
+    kernel_characterization()
+    device_shootout()
+    port_cost_and_roi()
+    schedule_impact()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The roadmap pipeline itself: survey -> findings -> portfolio -> timeline.
+
+Reproduces the project's own deliverable: interview Europe's Big Data
+industry, verify the key findings, score the twelve recommendations,
+choose what to fund under a budget, and compare the funded vs unfunded
+technology timelines.
+
+Run:  python examples/roadmap_portfolio.py
+"""
+
+from repro.core import (
+    build_roadmap,
+    forecast_milestones,
+    greedy_portfolio,
+    optimize_portfolio,
+    score_all,
+)
+from repro.reporting import render_table
+from repro.survey import generate_corpus, key_findings, sector_mix
+
+
+def survey_stage():
+    """Run the interviews and verify the findings."""
+    print("=== 1. The survey (89 interviews, 70 companies) ===")
+    corpus = generate_corpus()
+    print(render_table(
+        ["sector", "companies"], sorted(sector_mix(corpus).items()),
+    ))
+    for finding in key_findings(corpus):
+        status = "HOLDS" if finding.holds else "FAILS"
+        print(f"  Finding {finding.finding_id}: {status} -- "
+              f"{finding.statement[:70]}")
+    print()
+    return corpus
+
+
+def scoring_stage(corpus):
+    """Score and rank the twelve recommendations."""
+    print("=== 2. Recommendation ranking ===")
+    scored = score_all(corpus)
+    rows = [
+        [s.recommendation.rec_id, s.recommendation.title[:52],
+         s.recommendation.cost_meur, s.priority]
+        for s in scored
+    ]
+    print(render_table(["R", "title", "cost MEUR", "priority"], rows))
+    print()
+    return scored
+
+
+def portfolio_stage(scored):
+    """Fund under three budget scenarios; exact vs greedy."""
+    print("=== 3. Funding portfolios ===")
+    rows = []
+    for budget in (75.0, 150.0, 250.0):
+        exact = optimize_portfolio(scored, budget)
+        greedy = greedy_portfolio(scored, budget)
+        rows.append([
+            budget,
+            ",".join(str(i) for i in exact.rec_ids),
+            exact.total_priority,
+            greedy.total_priority,
+        ])
+    print(render_table(
+        ["budget MEUR", "funded (knapsack)", "knapsack value",
+         "greedy value"],
+        rows,
+    ))
+    print()
+
+
+def timeline_stage():
+    """Funded vs unfunded Europe: the acceleration argument."""
+    print("=== 4. Technology timelines: coordinated funding vs none ===")
+    unfunded = {m.technology: m.year for m in forecast_milestones(1.0)}
+    funded = {m.technology: m.year for m in forecast_milestones(1.8)}
+    rows = [
+        [tech, unfunded[tech], funded[tech], unfunded[tech] - funded[tech]]
+        for tech in sorted(unfunded, key=lambda t: unfunded[t])
+    ]
+    print(render_table(
+        ["technology", "unfunded year", "funded year", "years gained"],
+        rows,
+    ))
+    print()
+
+
+def main() -> None:
+    corpus = survey_stage()
+    scored = scoring_stage(corpus)
+    portfolio_stage(scored)
+    timeline_stage()
+    roadmap = build_roadmap(corpus=corpus, budget_meur=150.0)
+    print(f"Roadmap complete: findings hold = {roadmap.findings_hold}, "
+          f"portfolio = R{roadmap.portfolio.rec_ids}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Declarative analytics end to end (§IV.C.1's arc, replayed).
+
+The paper traces data processing from SQL to frameworks to ML libraries.
+This example walks the same arc on the library: a business question asked
+as a declarative query, compiled to a dataflow plan, executed on a
+simulated cluster; then the ML layer (naive Bayes) takes over where SQL
+stops.
+
+Run:  python examples/sql_analytics.py
+"""
+
+from repro.analytics import (
+    MultinomialNaiveBayes,
+    accuracy,
+)
+from repro.cluster import uniform_cluster
+from repro.frameworks import (
+    Aggregation,
+    BatchExecutor,
+    PartitionedDataset,
+    Query,
+    run_query,
+)
+from repro.network import leaf_spine
+from repro.node import commodity_server, xeon_e5
+from repro.reporting import render_records, render_table
+from repro.workloads import sales_table
+
+
+def build_executor():
+    """A plain CPU cluster -- the Finding-1 baseline everyone runs."""
+    return BatchExecutor(
+        uniform_cluster(
+            leaf_spine(2, 2, 4), lambda: commodity_server(xeon_e5())
+        )
+    )
+
+
+def sql_stage(executor) -> None:
+    """'Which EU sectors drive revenue?' -- the query-language era."""
+    print("=== 1. The SQL era: declarative query -> dataflow plan ===")
+    rows = sales_table(5_000, seed=47)
+    dataset = PartitionedDataset.from_records(rows, 8, record_bytes=120)
+    query = (
+        Query.table()
+        .where("region", "==", "EU")
+        .group_by(
+            "sector",
+            Aggregation("sum", "amount", "revenue"),
+            Aggregation("count", "amount", "orders"),
+            Aggregation("avg", "amount", "avg_order"),
+        )
+        .order_by("revenue", descending=True)
+    )
+    plan = query.compile()
+    print(f"compiled to {len(plan.operators)} operators, "
+          f"{plan.n_shuffles} shuffle(s): "
+          f"{[op.label or op.kind for op in plan.operators]}")
+    results = run_query(executor, query, dataset)
+    print(render_records(
+        results, columns=["sector", "revenue", "orders", "avg_order"],
+        title="EU revenue by sector",
+    ))
+    print()
+
+
+def join_stage(executor) -> None:
+    """Joining a dimension table the broadcast way."""
+    print("=== 2. Star-schema join (broadcast) ===")
+    rows = sales_table(5_000, seed=47)
+    dataset = PartitionedDataset.from_records(rows, 8, record_bytes=120)
+    sector_dim = [
+        {"sector": "telecom", "strategic": True},
+        {"sector": "finance", "strategic": True},
+        {"sector": "health", "strategic": False},
+        {"sector": "automotive", "strategic": False},
+        {"sector": "analytics", "strategic": True},
+    ]
+    query = (
+        Query.table()
+        .join(sector_dim, left_key="sector", right_key="sector")
+        .group_by("strategic", Aggregation("sum", "amount", "revenue"))
+        .order_by("revenue", descending=True)
+    )
+    results = run_query(executor, query, dataset)
+    print(render_records(results, title="revenue by strategic flag"))
+    print()
+
+
+def ml_stage() -> None:
+    """Where SQL stops: classifying support tickets (the NLP shift)."""
+    print("=== 3. The ML/NLP era: classify unstructured text ===")
+    training = [
+        ("gpu driver crash during cuda kernel launch", "compute"),
+        ("tensor training slow on the new gpu nodes", "compute"),
+        ("model inference latency regression after deploy", "compute"),
+        ("cuda out of memory on batch training", "compute"),
+        ("switch port flapping on the spine fabric", "network"),
+        ("packet loss between leaf and spine", "network"),
+        ("ethernet link down on rack 12", "network"),
+        ("routing loop after the config push", "network"),
+    ]
+    held_out = [
+        ("gpu memory error in training kernel", "compute"),
+        ("spine switch dropping packets on port 7", "network"),
+        ("inference batch slow on gpu", "compute"),
+        ("leaf link errors and packet loss", "network"),
+    ]
+    docs, labels = zip(*training)
+    model = MultinomialNaiveBayes().fit(docs, labels)
+    test_docs, truth = zip(*held_out)
+    predictions = model.predict(test_docs)
+    rows = [
+        [doc[:45], want, got, "ok" if want == got else "MISS"]
+        for doc, want, got in zip(test_docs, truth, predictions)
+    ]
+    print(render_table(["ticket", "truth", "predicted", ""], rows))
+    print(f"accuracy: {accuracy(list(truth), predictions):.0%}")
+
+
+def main() -> None:
+    executor = build_executor()
+    sql_stage(executor)
+    join_stage(executor)
+    ml_stage()
+
+
+if __name__ == "__main__":
+    main()

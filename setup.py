@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs on environments without the
+`wheel` package (offline PEP 660 builds fail with 'invalid command bdist_wheel')."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""rethinkbig reproduction library.
+
+Operationalizes the RETHINK big roadmap (DATE 2017): discrete-event and
+analytical simulators for data-center networks and heterogeneous compute
+nodes, a mini Big Data dataflow engine, economic (TCO/ROI/NRE) models, a
+synthetic stakeholder-survey pipeline, and the roadmap/recommendation
+engine that ties them together.
+
+Public entry points live in the subpackages:
+
+- :mod:`repro.engine` -- deterministic discrete-event simulation kernel.
+- :mod:`repro.econ` -- TCO, ROI, NRE, silicon cost models.
+- :mod:`repro.network` -- data-center fabric, SDN, NFV simulators.
+- :mod:`repro.node` -- heterogeneous device and server models.
+- :mod:`repro.cluster` -- converged and disaggregated clusters.
+- :mod:`repro.frameworks` -- batch and streaming dataflow engines.
+- :mod:`repro.scheduler` -- heterogeneous task scheduling.
+- :mod:`repro.analytics` -- accelerated building blocks.
+- :mod:`repro.workloads` -- data generators and the benchmark suite.
+- :mod:`repro.survey` -- stakeholder interview corpus and analysis.
+- :mod:`repro.core` -- technology catalog, adoption forecasts,
+  recommendations and portfolio prioritization.
+- :mod:`repro.ecosystem` -- actor/initiative graph and market analysis.
+- :mod:`repro.reporting` -- tables and the experiment registry.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,99 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``summary``      -- library inventory and experiment list.
+- ``roadmap``      -- run the full roadmap pipeline, print the results.
+- ``findings``     -- generate the survey corpus, print the Key Findings.
+- ``experiments``  -- the experiment registry with paper anchors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_summary() -> int:
+    import repro
+    from repro.reporting import EXPERIMENTS
+
+    print(f"rethinkbig reproduction library v{repro.__version__}")
+    print("paper: RETHINK big (DATE 2017) -- European roadmap for hardware")
+    print("       and networking optimizations for Big Data")
+    packages = (
+        "engine", "econ", "network", "node", "cluster", "frameworks",
+        "scheduler", "analytics", "workloads", "survey", "core",
+        "ecosystem", "reporting",
+    )
+    print(f"subpackages ({len(packages)}): {', '.join(packages)}")
+    print(f"experiments: {len(EXPERIMENTS)} "
+          f"({', '.join(e.experiment_id for e in EXPERIMENTS)})")
+    return 0
+
+
+def _cmd_roadmap() -> int:
+    from repro.core import build_roadmap
+    from repro.reporting import render_table
+
+    roadmap = build_roadmap()
+    print(f"key findings hold: {roadmap.findings_hold}")
+    rows = [
+        [s.recommendation.rec_id, s.recommendation.title[:58], s.priority]
+        for s in roadmap.scored_recommendations
+    ]
+    print(render_table(["R", "recommendation", "priority"], rows,
+                       title="recommendations, priority-ranked"))
+    print(f"funded under {roadmap.portfolio.budget_meur:.0f} MEUR: "
+          f"R{roadmap.portfolio.rec_ids}")
+    return 0
+
+
+def _cmd_findings() -> int:
+    from repro.survey import generate_corpus, headline_counts, key_findings
+
+    corpus = generate_corpus()
+    counts = headline_counts(corpus)
+    print(f"{counts['n_interviews']} interviews, "
+          f"{counts['n_companies']} companies")
+    for finding in key_findings(corpus):
+        status = "HOLDS" if finding.holds else "FAILS"
+        print(f"  [{status}] Finding {finding.finding_id}: "
+              f"{finding.statement}")
+    return 0
+
+
+def _cmd_experiments() -> int:
+    from repro.reporting import EXPERIMENTS, render_table
+
+    rows = [
+        [e.experiment_id, e.paper_anchor, e.claim[:60], e.bench]
+        for e in EXPERIMENTS
+    ]
+    print(render_table(["id", "anchor", "claim", "bench"], rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rethinkbig reproduction library CLI",
+    )
+    parser.add_argument(
+        "command",
+        choices=("summary", "roadmap", "findings", "experiments"),
+        help="what to print",
+    )
+    args = parser.parse_args(argv)
+    handlers = {
+        "summary": _cmd_summary,
+        "roadmap": _cmd_roadmap,
+        "findings": _cmd_findings,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

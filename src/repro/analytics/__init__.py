@@ -1,0 +1,98 @@
+"""Analytics building blocks: ML, NLP, relational and graph kernels,
+plus the accelerated-building-block registry of Recommendation 10."""
+
+from repro.analytics.bayes import (
+    GaussianNaiveBayes,
+    MultinomialNaiveBayes,
+)
+from repro.analytics.blocks import (
+    BlockCost,
+    BlockRegistry,
+    BuildingBlock,
+    best_device_for_block,
+    default_blocks,
+)
+from repro.analytics.graph import (
+    bfs_distances,
+    connected_components,
+    degree_distribution,
+    pagerank,
+    triangle_count,
+)
+from repro.analytics.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision_recall,
+    train_test_split,
+)
+from repro.analytics.ml import (
+    KMeansResult,
+    kmeans,
+    knn_classify,
+    linear_regression,
+    logistic_predict,
+    logistic_regression,
+)
+from repro.analytics.nlp import (
+    cosine_similarity,
+    extract_pattern,
+    inverse_document_frequencies,
+    ngrams,
+    term_frequencies,
+    tfidf_vectors,
+    tokenize,
+    top_terms,
+    word_counts,
+)
+from repro.analytics.relational import (
+    AGGREGATES,
+    group_aggregate,
+    hash_join,
+    limit,
+    order_by,
+    project,
+    select,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "BlockCost",
+    "BlockRegistry",
+    "BuildingBlock",
+    "GaussianNaiveBayes",
+    "KMeansResult",
+    "MultinomialNaiveBayes",
+    "accuracy",
+    "best_device_for_block",
+    "bfs_distances",
+    "confusion_matrix",
+    "connected_components",
+    "cosine_similarity",
+    "default_blocks",
+    "degree_distribution",
+    "extract_pattern",
+    "f1_score",
+    "group_aggregate",
+    "hash_join",
+    "inverse_document_frequencies",
+    "kmeans",
+    "knn_classify",
+    "limit",
+    "linear_regression",
+    "logistic_predict",
+    "logistic_regression",
+    "ngrams",
+    "order_by",
+    "pagerank",
+    "precision_recall",
+    "project",
+    "select",
+    "term_frequencies",
+    "tfidf_vectors",
+    "tokenize",
+    "top_terms",
+    "train_test_split",
+    "triangle_count",
+    "word_counts",
+]

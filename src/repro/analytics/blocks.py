@@ -1,0 +1,266 @@
+"""Accelerated building blocks (Recommendation 10).
+
+R10: "identify often-required functional building blocks in existing
+processing frameworks and ... replace these blocks with (partially)
+hardware-accelerated implementations". A :class:`BuildingBlock` couples
+
+- a *functional identity* (name + the pure-Python reference kernel),
+- a *cost shape* (ops and bytes per record, serial fraction) used by the
+  roofline model, and
+- an *acceleration profile*: which device kinds implement the block and
+  at what fraction of their tuned throughput.
+
+The frameworks layer looks operators up here to decide offload; the E3
+and E11 experiments sweep this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ModelError, RegistryError
+from repro.node.device import ComputeDevice, DeviceKind
+from repro.node.roofline import Kernel, execution_time_s
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Per-record resource footprint of a building block."""
+
+    ops_per_record: float
+    bytes_per_record: float
+    serial_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_record <= 0 or self.bytes_per_record <= 0:
+            raise ModelError("per-record ops and bytes must be positive")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ModelError("serial fraction must be in [0, 1]")
+
+    def kernel(self, name: str, n_records: int) -> Kernel:
+        """The roofline kernel for processing ``n_records``."""
+        if n_records < 1:
+            raise ModelError("need at least one record")
+        return Kernel(
+            name=name,
+            ops=self.ops_per_record * n_records,
+            bytes_moved=self.bytes_per_record * n_records,
+            serial_fraction=self.serial_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class BuildingBlock:
+    """One accelerable framework operator.
+
+    ``device_support`` maps :class:`DeviceKind` to an efficiency factor
+    in (0, 1]: the fraction of the device's roofline the block's
+    accelerated implementation achieves. Absent kinds cannot run the
+    block (other than the CPU, which always can).
+
+    ``device_cost`` optionally overrides the cost *shape* per device
+    kind: the same logical block can have a fundamentally different
+    operation count on different hardware (a regex is a ~100-op/byte
+    branchy state machine on a CPU but a 1-op/byte NFA pipeline on an
+    FPGA -- spatial hardware changes the algorithm, not just the rate).
+    """
+
+    name: str
+    cost: BlockCost
+    device_support: Dict[DeviceKind, float] = field(default_factory=dict)
+    device_cost: Dict[DeviceKind, BlockCost] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for kind, eff in self.device_support.items():
+            if not 0.0 < eff <= 1.0:
+                raise ModelError(
+                    f"block {self.name}: efficiency for {kind.value} "
+                    f"must be in (0, 1], got {eff}"
+                )
+        for kind in self.device_cost:
+            if kind != DeviceKind.CPU and kind not in self.device_support:
+                raise ModelError(
+                    f"block {self.name}: cost override for unsupported "
+                    f"kind {kind.value}"
+                )
+
+    def runs_on(self, device: ComputeDevice) -> bool:
+        """Whether the block has an implementation for ``device``."""
+        return device.kind == DeviceKind.CPU or device.kind in self.device_support
+
+    def cost_for(self, kind: DeviceKind) -> BlockCost:
+        """The cost shape on device kind ``kind``."""
+        return self.device_cost.get(kind, self.cost)
+
+    def time_s(self, device: ComputeDevice, n_records: int) -> float:
+        """Execution time of the block over ``n_records`` on ``device``."""
+        if not self.runs_on(device):
+            raise ModelError(
+                f"block {self.name} has no implementation for {device.kind.value}"
+            )
+        kernel = self.cost_for(device.kind).kernel(self.name, n_records)
+        base = execution_time_s(kernel, device)
+        efficiency = self.device_support.get(device.kind, 1.0)
+        if device.kind == DeviceKind.CPU:
+            efficiency = 1.0
+        # Lower block efficiency stretches the parallel portion.
+        overhead_free = base - device.launch_overhead_s
+        return overhead_free / efficiency + device.launch_overhead_s
+
+    def throughput_records_per_s(
+        self, device: ComputeDevice, n_records: int = 1_000_000
+    ) -> float:
+        """Sustained record rate on ``device`` at a large batch size."""
+        return n_records / self.time_s(device, n_records)
+
+
+class BlockRegistry:
+    """Name-indexed registry of building blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, BuildingBlock] = {}
+
+    def register(self, block: BuildingBlock) -> None:
+        """Add a block; duplicates are an error."""
+        if block.name in self._blocks:
+            raise RegistryError(f"duplicate block: {block.name}")
+        self._blocks[block.name] = block
+
+    def get(self, name: str) -> BuildingBlock:
+        """Look up a block by name."""
+        if name not in self._blocks:
+            raise RegistryError(f"unknown block: {name!r}")
+        return self._blocks[name]
+
+    def names(self) -> list:
+        """Sorted registered names."""
+        return sorted(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+def default_blocks() -> BlockRegistry:
+    """The R10 starter set, with 2016-plausible cost shapes.
+
+    Efficiency factors encode which hardware each block maps well onto:
+    regex streams onto FPGAs, dense linear algebra onto GPUs/ASICs,
+    hash-heavy relational ops onto nothing exotic.
+    """
+    registry = BlockRegistry()
+    registry.register(
+        BuildingBlock(
+            "filter-scan",
+            BlockCost(ops_per_record=12, bytes_per_record=100),
+            {DeviceKind.FPGA: 0.9, DeviceKind.GPU: 0.6},
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "regex-extract",
+            # CPU reference: ~100 ops/byte for a branchy multi-pattern NFA.
+            BlockCost(ops_per_record=20_000, bytes_per_record=200),
+            {DeviceKind.FPGA: 0.95},  # NFA pipelines: the FPGA sweet spot
+            # On the FPGA the NFA is spatial: ~1 op/byte at line rate.
+            device_cost={
+                DeviceKind.FPGA: BlockCost(
+                    ops_per_record=200, bytes_per_record=200
+                )
+            },
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "hash-aggregate",
+            BlockCost(
+                ops_per_record=60, bytes_per_record=48, serial_fraction=0.02
+            ),
+            {DeviceKind.GPU: 0.5, DeviceKind.FPGA: 0.6},
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "hash-join",
+            BlockCost(
+                ops_per_record=90, bytes_per_record=64, serial_fraction=0.03
+            ),
+            {DeviceKind.GPU: 0.55, DeviceKind.FPGA: 0.55},
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "sort",
+            BlockCost(
+                ops_per_record=180, bytes_per_record=120, serial_fraction=0.01
+            ),
+            {DeviceKind.GPU: 0.7},
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "dense-gemm",
+            BlockCost(ops_per_record=4_000, bytes_per_record=32),
+            {DeviceKind.GPU: 0.85, DeviceKind.ASIC: 0.95, DeviceKind.FPGA: 0.6},
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "dnn-inference",
+            BlockCost(ops_per_record=20_000, bytes_per_record=80),
+            {
+                DeviceKind.GPU: 0.8,
+                DeviceKind.ASIC: 0.95,
+                DeviceKind.FPGA: 0.65,
+                DeviceKind.NEUROMORPHIC: 0.7,
+            },
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "compression",
+            # CPU reference: ~20 ops/byte for LZ-class compression.
+            BlockCost(ops_per_record=3_000, bytes_per_record=150),
+            {DeviceKind.FPGA: 0.85, DeviceKind.ASIC: 0.9},
+            # Streaming compressors on spatial hardware: ~2 ops/byte.
+            device_cost={
+                DeviceKind.FPGA: BlockCost(
+                    ops_per_record=300, bytes_per_record=150
+                ),
+                DeviceKind.ASIC: BlockCost(
+                    ops_per_record=300, bytes_per_record=150
+                ),
+            },
+        )
+    )
+    registry.register(
+        BuildingBlock(
+            "feature-extract",
+            BlockCost(ops_per_record=900, bytes_per_record=220),
+            {DeviceKind.GPU: 0.65, DeviceKind.DSP: 0.8, DeviceKind.FPGA: 0.7},
+        )
+    )
+    return registry
+
+
+def best_device_for_block(
+    block: BuildingBlock,
+    devices,
+    n_records: int = 1_000_000,
+    objective: str = "time",
+) -> ComputeDevice:
+    """The device minimizing ``time`` or ``energy`` for one block batch."""
+    if objective not in ("time", "energy"):
+        raise ModelError(f"unknown objective: {objective!r}")
+    candidates = [d for d in devices if block.runs_on(d)]
+    if not candidates:
+        raise ModelError(f"no device can run block {block.name}")
+
+    def score(device: ComputeDevice) -> float:
+        time = block.time_s(device, n_records)
+        return time if objective == "time" else time * device.tdp_w
+
+    return min(candidates, key=lambda d: (score(d), d.name))

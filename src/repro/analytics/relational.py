@@ -1,0 +1,118 @@
+"""Relational operators over lists of dict rows.
+
+The "SQL abstraction" layer of §IV.C.1, implemented as plain functions so
+the dataflow engine can execute real queries: select, project, hash join,
+group-by aggregation, sort.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ModelError
+
+Row = Dict[str, Any]
+
+
+def select(rows: Iterable[Row], predicate: Callable[[Row], bool]) -> List[Row]:
+    """Filter rows by a predicate."""
+    return [row for row in rows if predicate(row)]
+
+
+def project(rows: Iterable[Row], columns: Sequence[str]) -> List[Row]:
+    """Keep only ``columns``; missing columns are an error."""
+    out = []
+    for row in rows:
+        try:
+            out.append({col: row[col] for col in columns})
+        except KeyError as exc:
+            raise ModelError(f"missing column: {exc}") from exc
+    return out
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    key: str,
+    right_key: Optional[str] = None,
+    suffix: str = "_r",
+) -> List[Row]:
+    """Inner equi-join on ``key`` (optionally a different right key).
+
+    Right-side columns colliding with left-side names get ``suffix``.
+    """
+    right_key = right_key or key
+    index: Dict[Any, List[Row]] = defaultdict(list)
+    for row in right:
+        if right_key not in row:
+            raise ModelError(f"right row missing join key {right_key!r}")
+        index[row[right_key]].append(row)
+    out = []
+    for row in left:
+        if key not in row:
+            raise ModelError(f"left row missing join key {key!r}")
+        for match in index.get(row[key], ()):
+            merged = dict(row)
+            for col, value in match.items():
+                if col == right_key:
+                    continue
+                merged[col + suffix if col in row else col] = value
+            out.append(merged)
+    return out
+
+
+#: Aggregate functions usable in :func:`group_aggregate`.
+AGGREGATES: Dict[str, Callable[[List[float]], float]] = {
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": len,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+def group_aggregate(
+    rows: Iterable[Row],
+    group_by: str,
+    value_column: str,
+    aggregate: str = "sum",
+) -> List[Row]:
+    """GROUP BY ``group_by`` applying ``aggregate`` over ``value_column``.
+
+    Returns rows ``{group_by: key, aggregate: value}`` sorted by key.
+    """
+    if aggregate not in AGGREGATES:
+        raise ModelError(
+            f"unknown aggregate {aggregate!r}; choose from {sorted(AGGREGATES)}"
+        )
+    groups: Dict[Any, List[float]] = defaultdict(list)
+    for row in rows:
+        if group_by not in row or value_column not in row:
+            raise ModelError(
+                f"row missing {group_by!r} or {value_column!r}: {row}"
+            )
+        groups[row[group_by]].append(row[value_column])
+    fn = AGGREGATES[aggregate]
+    return [
+        {group_by: key, aggregate: fn(values)}
+        for key, values in sorted(groups.items())
+    ]
+
+
+def order_by(
+    rows: Iterable[Row], column: str, descending: bool = False
+) -> List[Row]:
+    """Stable sort by one column."""
+    rows = list(rows)
+    for row in rows:
+        if column not in row:
+            raise ModelError(f"row missing sort column {column!r}")
+    return sorted(rows, key=lambda r: r[column], reverse=descending)
+
+
+def limit(rows: Sequence[Row], n: int) -> List[Row]:
+    """First ``n`` rows."""
+    if n < 0:
+        raise ModelError("limit cannot be negative")
+    return list(rows[:n])

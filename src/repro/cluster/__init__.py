@@ -1,0 +1,28 @@
+"""Cluster layer: servers on fabrics; converged vs composable pools."""
+
+from repro.cluster.disaggregation import (
+    DIMENSIONS,
+    ComposableCluster,
+    ConvergedCluster,
+    ResourceVector,
+    UpgradePricing,
+    ZERO,
+    skewed_demand_stream,
+    stranding_experiment,
+    upgrade_cost_comparison,
+)
+from repro.cluster.machine import Cluster, uniform_cluster
+
+__all__ = [
+    "Cluster",
+    "ComposableCluster",
+    "ConvergedCluster",
+    "DIMENSIONS",
+    "ResourceVector",
+    "UpgradePricing",
+    "ZERO",
+    "skewed_demand_stream",
+    "stranding_experiment",
+    "uniform_cluster",
+    "upgrade_cost_comparison",
+]

@@ -1,0 +1,261 @@
+"""Converged vs composable (disaggregated) infrastructure (§IV.A.3).
+
+The paper's disaggregation vision: "composable hardware -- CPU, memory,
+I/O and storage that is purchased a la carte", promising to "facilitate
+regular upgrades and potentially eliminate the need and cost of replacing
+entire servers".
+
+Two quantifiable benefits are modelled:
+
+- **resource stranding** (:func:`stranding_experiment`): on converged
+  servers, a job mix that exhausts one dimension (say memory) strands the
+  others (cores sit idle); a composable pool allocates each dimension
+  independently.
+- **upgrade cost** (:func:`upgrade_cost_comparison`): refreshing one
+  resource generation (e.g. new CPUs) replaces whole servers in the
+  converged world but only the CPU sleds in the composable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+
+
+#: The resource dimensions the paper lists: CPU, memory, I/O and storage.
+DIMENSIONS = ("cores", "memory_gb", "storage_tb")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A demand or capacity across the three modelled dimensions."""
+
+    cores: float
+    memory_gb: float
+    storage_tb: float
+
+    def __post_init__(self) -> None:
+        if min(self.cores, self.memory_gb, self.storage_tb) < 0:
+            raise ModelError("resource quantities cannot be negative")
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """Component-wise <= comparison."""
+        return (
+            self.cores <= capacity.cores
+            and self.memory_gb <= capacity.memory_gb
+            and self.storage_tb <= capacity.storage_tb
+        )
+
+    def minus(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise subtraction (may raise if negative)."""
+        return ResourceVector(
+            self.cores - other.cores,
+            self.memory_gb - other.memory_gb,
+            self.storage_tb - other.storage_tb,
+        )
+
+    def plus(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise addition."""
+        return ResourceVector(
+            self.cores + other.cores,
+            self.memory_gb + other.memory_gb,
+            self.storage_tb + other.storage_tb,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dimension-name mapping."""
+        return {
+            "cores": self.cores,
+            "memory_gb": self.memory_gb,
+            "storage_tb": self.storage_tb,
+        }
+
+
+ZERO = ResourceVector(0.0, 0.0, 0.0)
+
+
+@dataclass
+class ConvergedCluster:
+    """N identical servers; a job must fit entirely on one server."""
+
+    n_servers: int
+    server_capacity: ResourceVector
+    free: List[ResourceVector] = field(default_factory=list)
+    placed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ModelError("need at least one server")
+        self.free = [self.server_capacity for _ in range(self.n_servers)]
+
+    def try_place(self, demand: ResourceVector) -> bool:
+        """First-fit placement; returns False when no server fits."""
+        for i, available in enumerate(self.free):
+            if demand.fits_in(available):
+                self.free[i] = available.minus(demand)
+                self.placed += 1
+                return True
+        return False
+
+    def total_capacity(self) -> ResourceVector:
+        """Aggregate capacity across servers."""
+        total = ZERO
+        for _ in range(self.n_servers):
+            total = total.plus(self.server_capacity)
+        return total
+
+    def utilization(self) -> Dict[str, float]:
+        """Used fraction per dimension."""
+        total = self.total_capacity().as_dict()
+        free_total: Dict[str, float] = {k: 0.0 for k in DIMENSIONS}
+        for available in self.free:
+            for key, value in available.as_dict().items():
+                free_total[key] += value
+        return {
+            key: 1.0 - free_total[key] / total[key] if total[key] else 0.0
+            for key in DIMENSIONS
+        }
+
+
+@dataclass
+class ComposableCluster:
+    """Disaggregated pools: each dimension allocated independently."""
+
+    capacity: ResourceVector
+    free: ResourceVector = ZERO
+    placed: int = 0
+
+    def __post_init__(self) -> None:
+        self.free = self.capacity
+
+    def try_place(self, demand: ResourceVector) -> bool:
+        """Pool allocation; fails only when some pool is exhausted."""
+        if demand.fits_in(self.free):
+            self.free = self.free.minus(demand)
+            self.placed += 1
+            return True
+        return False
+
+    def utilization(self) -> Dict[str, float]:
+        """Used fraction per dimension."""
+        cap, free = self.capacity.as_dict(), self.free.as_dict()
+        return {
+            key: 1.0 - free[key] / cap[key] if cap[key] else 0.0
+            for key in DIMENSIONS
+        }
+
+
+def stranding_experiment(
+    demands: List[ResourceVector],
+    n_servers: int,
+    server_capacity: ResourceVector,
+) -> Dict[str, Dict[str, float]]:
+    """Place the same job stream on both architectures until first reject.
+
+    Returns per-architecture: jobs placed and per-dimension utilization at
+    the moment the first job is rejected (the stranding snapshot). The
+    composable pool has exactly the same aggregate capacity.
+    """
+    if not demands:
+        raise ModelError("need at least one demand")
+    converged = ConvergedCluster(n_servers, server_capacity)
+    total = converged.total_capacity()
+    composable = ComposableCluster(total)
+
+    converged_done = composable_done = False
+    for demand in demands:
+        if not converged_done and not converged.try_place(demand):
+            converged_done = True
+        if not composable_done and not composable.try_place(demand):
+            composable_done = True
+        if converged_done and composable_done:
+            break
+
+    return {
+        "converged": {"placed": float(converged.placed), **converged.utilization()},
+        "composable": {
+            "placed": float(composable.placed),
+            **composable.utilization(),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class UpgradePricing:
+    """Unit prices for the upgrade-cost comparison."""
+
+    whole_server_usd: float = 8_000.0
+    cpu_sled_usd: float = 2_500.0
+    memory_sled_usd: float = 3_000.0
+    storage_sled_usd: float = 1_500.0
+    recabling_usd_per_server: float = 150.0
+
+
+def upgrade_cost_comparison(
+    n_servers: int,
+    refresh: str,
+    pricing: UpgradePricing = UpgradePricing(),
+) -> Dict[str, float]:
+    """Cost of refreshing one resource generation across the fleet.
+
+    ``refresh`` in {"cores", "memory_gb", "storage_tb"}. Converged
+    replaces whole servers (plus recabling); composable swaps only the
+    targeted sleds.
+    """
+    if n_servers < 1:
+        raise ModelError("need at least one server")
+    sled_price = {
+        "cores": pricing.cpu_sled_usd,
+        "memory_gb": pricing.memory_sled_usd,
+        "storage_tb": pricing.storage_sled_usd,
+    }
+    if refresh not in sled_price:
+        raise ModelError(f"unknown refresh dimension: {refresh!r}")
+    converged = n_servers * (
+        pricing.whole_server_usd + pricing.recabling_usd_per_server
+    )
+    composable = n_servers * sled_price[refresh]
+    return {
+        "converged_usd": converged,
+        "composable_usd": composable,
+        "savings_fraction": 1.0 - composable / converged,
+    }
+
+
+def skewed_demand_stream(
+    n_jobs: int,
+    rng,
+    core_heavy_fraction: float = 0.5,
+) -> List[ResourceVector]:
+    """A bimodal job mix that strands converged servers.
+
+    Core-heavy jobs (analytics compute) want many cores and little
+    memory; memory-heavy jobs (in-memory joins/caches) the reverse. On
+    converged servers the two types exhaust opposite dimensions of
+    whichever boxes they land on.
+    """
+    if n_jobs < 1:
+        raise ModelError("need at least one job")
+    if not 0.0 <= core_heavy_fraction <= 1.0:
+        raise ModelError("fraction must be in [0, 1]")
+    demands = []
+    for _ in range(n_jobs):
+        if rng.uniform() < core_heavy_fraction:
+            demands.append(
+                ResourceVector(
+                    cores=rng.integer(8, 17),
+                    memory_gb=rng.integer(4, 17),
+                    storage_tb=0.1,
+                )
+            )
+        else:
+            demands.append(
+                ResourceVector(
+                    cores=rng.integer(1, 5),
+                    memory_gb=rng.integer(96, 193),
+                    storage_tb=0.5,
+                )
+            )
+    return demands

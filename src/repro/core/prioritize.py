@@ -1,0 +1,96 @@
+"""Portfolio prioritization: which recommendations to fund under a budget.
+
+The Commission funds programmes under a budget constraint; selecting the
+best subset of scored recommendations is a 0/1 knapsack. Solved exactly
+with dynamic programming over euro-resolution weights (costs are tens of
+millions -- tiny state space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.recommendations import ScoredRecommendation
+from repro.errors import ModelError
+
+
+@dataclass
+class Portfolio:
+    """A funded subset of recommendations."""
+
+    selected: List[ScoredRecommendation]
+    budget_meur: float
+
+    @property
+    def total_cost_meur(self) -> float:
+        """Spend of the selection."""
+        return sum(s.recommendation.cost_meur for s in self.selected)
+
+    @property
+    def total_priority(self) -> float:
+        """Summed priority score of the selection."""
+        return sum(s.priority for s in self.selected)
+
+    @property
+    def rec_ids(self) -> List[int]:
+        """Funded recommendation ids, ascending."""
+        return sorted(s.recommendation.rec_id for s in self.selected)
+
+
+def optimize_portfolio(
+    scored: List[ScoredRecommendation],
+    budget_meur: float,
+    resolution_meur: float = 1.0,
+) -> Portfolio:
+    """Exact 0/1 knapsack over the scored recommendations.
+
+    ``resolution_meur`` discretizes costs (default 1 M-euro steps).
+    """
+    if budget_meur <= 0:
+        raise ModelError("budget must be positive")
+    if resolution_meur <= 0:
+        raise ModelError("resolution must be positive")
+    if not scored:
+        raise ModelError("nothing to optimize")
+
+    capacity = int(budget_meur / resolution_meur)
+    weights = [
+        max(1, round(s.recommendation.cost_meur / resolution_meur))
+        for s in scored
+    ]
+    values = [s.priority for s in scored]
+
+    # dp[w] = (best value, chosen indices) using items so far.
+    best_value = [0.0] * (capacity + 1)
+    chosen: List[Tuple[int, ...]] = [()] * (capacity + 1)
+    for index, (weight, value) in enumerate(zip(weights, values)):
+        for w in range(capacity, weight - 1, -1):
+            candidate = best_value[w - weight] + value
+            if candidate > best_value[w] + 1e-12:
+                best_value[w] = candidate
+                chosen[w] = chosen[w - weight] + (index,)
+    winning = chosen[capacity]
+    return Portfolio(
+        selected=[scored[i] for i in winning], budget_meur=budget_meur
+    )
+
+
+def greedy_portfolio(
+    scored: List[ScoredRecommendation], budget_meur: float
+) -> Portfolio:
+    """Greedy density heuristic (priority per M-euro), for comparison."""
+    if budget_meur <= 0:
+        raise ModelError("budget must be positive")
+    order = sorted(
+        scored,
+        key=lambda s: (-s.priority / s.recommendation.cost_meur,
+                       s.recommendation.rec_id),
+    )
+    selected = []
+    remaining = budget_meur
+    for item in order:
+        if item.recommendation.cost_meur <= remaining:
+            selected.append(item)
+            remaining -= item.recommendation.cost_meur
+    return Portfolio(selected=selected, budget_meur=budget_meur)

@@ -1,0 +1,210 @@
+"""The twelve recommendations as first-class, evidence-scored objects.
+
+§V.B's "High-level Actions Summary" lists twelve concrete
+recommendations. Here each is data: which findings motivate it, which
+technologies it touches, its investment cost and horizon -- plus a
+scoring function that combines survey evidence (theme prevalence) with
+technology-catalog judgement (EU strength, risk, timing) into the
+priority score the portfolio optimizer consumes (E16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.technology import TECHNOLOGY_CATALOG, get_technology
+from repro.errors import ModelError
+from repro.survey.analysis import theme_fraction
+from repro.survey.stakeholder import (
+    Corpus,
+    THEME_ACCELERATOR_USER,
+    THEME_BOTTLENECK_AWARE,
+    THEME_HW_SW_DISCONNECT,
+    THEME_LOCK_IN_FEAR,
+    THEME_NO_HW_ROADMAP,
+    THEME_PRICE_SENSITIVE,
+    THEME_ROI_SKEPTICISM,
+    THEME_VALUE_FOCUS,
+    THEME_WAIT_FOR_COMMODITY,
+    THEME_WANTS_BENCHMARKS,
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One roadmap recommendation.
+
+    ``evidence_themes``: interview themes whose prevalence argues for it.
+    ``technologies``: catalog entries it advances.
+    ``cost_meur``: indicative EC programme cost in millions of euro.
+    ``horizon``: "near" (0-2y), "mid" (2-5y) or "long" (5y+).
+    """
+
+    rec_id: int
+    title: str
+    evidence_themes: Tuple[str, ...]
+    technologies: Tuple[str, ...]
+    cost_meur: float
+    horizon: str
+
+    def __post_init__(self) -> None:
+        if self.horizon not in ("near", "mid", "long"):
+            raise ModelError(f"R{self.rec_id}: bad horizon {self.horizon!r}")
+        if self.cost_meur <= 0:
+            raise ModelError(f"R{self.rec_id}: cost must be positive")
+        for tech in self.technologies:
+            get_technology(tech)  # validates names
+
+
+#: §V.B verbatim titles (condensed), with evidence/technology links.
+RECOMMENDATIONS: List[Recommendation] = [
+    Recommendation(
+        1,
+        "Promote adoption of current and upcoming networking standards",
+        (THEME_PRICE_SENSITIVE, THEME_WAIT_FOR_COMMODITY),
+        ("10-40gbe",),
+        20.0,
+        "near",
+    ),
+    Recommendation(
+        2,
+        "Prepare for next-generation hardware; exploit HPC/Big Data convergence",
+        (THEME_BOTTLENECK_AWARE, THEME_HW_SW_DISCONNECT),
+        ("100gbe", "distributed-frameworks"),
+        40.0,
+        "mid",
+    ),
+    Recommendation(
+        3,
+        "Anticipate data-center designs for 400GbE networks and beyond",
+        (THEME_BOTTLENECK_AWARE,),
+        ("400gbe", "silicon-photonics", "disaggregation"),
+        35.0,
+        "long",
+    ),
+    Recommendation(
+        4,
+        "Reduce risk and cost of using accelerators",
+        (THEME_ROI_SKEPTICISM, THEME_ACCELERATOR_USER, THEME_PRICE_SENSITIVE),
+        ("fpga-accel", "gpgpu"),
+        50.0,
+        "near",
+    ),
+    Recommendation(
+        5,
+        "Encourage system co-design for new technologies",
+        (THEME_HW_SW_DISCONNECT,),
+        ("sip-chiplets", "nvm"),
+        45.0,
+        "mid",
+    ),
+    Recommendation(
+        6,
+        "Improve programmability of FPGAs",
+        (THEME_ROI_SKEPTICISM, THEME_ACCELERATOR_USER),
+        ("hls-tools", "fpga-accel"),
+        30.0,
+        "mid",
+    ),
+    Recommendation(
+        7,
+        "Pioneer markets for neuromorphic computing",
+        (THEME_BOTTLENECK_AWARE,),
+        ("neuromorphic",),
+        25.0,
+        "long",
+    ),
+    Recommendation(
+        8,
+        "Create a sustainable business environment incl. open training data",
+        (THEME_VALUE_FOCUS, THEME_HW_SW_DISCONNECT),
+        ("distributed-frameworks",),
+        15.0,
+        "near",
+    ),
+    Recommendation(
+        9,
+        "Establish standard benchmarks",
+        (THEME_WANTS_BENCHMARKS, THEME_ROI_SKEPTICISM),
+        ("standard-benchmarks",),
+        10.0,
+        "near",
+    ),
+    Recommendation(
+        10,
+        "Identify and build accelerated building blocks",
+        (THEME_ACCELERATOR_USER, THEME_NO_HW_ROADMAP),
+        ("accelerated-blocks", "fpga-accel"),
+        35.0,
+        "mid",
+    ),
+    Recommendation(
+        11,
+        "Investigate use of heterogeneous resources (dynamic scheduling)",
+        (THEME_BOTTLENECK_AWARE, THEME_LOCK_IN_FEAR),
+        ("hetero-scheduling",),
+        25.0,
+        "mid",
+    ),
+    Recommendation(
+        12,
+        "Continue to ask whether hardware optimizations solve industry problems",
+        (THEME_VALUE_FOCUS,),
+        ("standard-benchmarks",),
+        5.0,
+        "near",
+    ),
+]
+
+
+@dataclass(frozen=True)
+class ScoredRecommendation:
+    """A recommendation with its computed priority."""
+
+    recommendation: Recommendation
+    evidence_score: float
+    strategic_score: float
+    urgency_score: float
+
+    @property
+    def priority(self) -> float:
+        """Blended priority in [0, 1]."""
+        return (
+            0.45 * self.evidence_score
+            + 0.35 * self.strategic_score
+            + 0.20 * self.urgency_score
+        )
+
+
+def score_recommendation(
+    recommendation: Recommendation, corpus: Corpus
+) -> ScoredRecommendation:
+    """Score one recommendation against a survey corpus.
+
+    - evidence: mean prevalence of its themes in the interviews;
+    - strategic: mean EU strength weighted against risk of its
+      technologies (Europe should invest where it is strong and the
+      risk is bearable);
+    - urgency: nearer horizons score higher.
+    """
+    if not recommendation.evidence_themes:
+        raise ModelError(f"R{recommendation.rec_id}: no evidence themes")
+    evidence = sum(
+        theme_fraction(corpus, theme)
+        for theme in recommendation.evidence_themes
+    ) / len(recommendation.evidence_themes)
+    techs = [get_technology(name) for name in recommendation.technologies]
+    strategic = sum(t.eu_strength * (1.0 - 0.5 * t.risk) for t in techs) / len(
+        techs
+    )
+    urgency = {"near": 1.0, "mid": 0.6, "long": 0.3}[recommendation.horizon]
+    return ScoredRecommendation(recommendation, evidence, strategic, urgency)
+
+
+def score_all(corpus: Corpus) -> List[ScoredRecommendation]:
+    """All twelve recommendations scored, priority-descending."""
+    scored = [score_recommendation(rec, corpus) for rec in RECOMMENDATIONS]
+    return sorted(
+        scored, key=lambda s: (-s.priority, s.recommendation.rec_id)
+    )

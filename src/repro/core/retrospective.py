@@ -1,0 +1,187 @@
+"""Hindsight validation: the 2016 roadmap versus the actual 2016-2026 decade.
+
+The roadmap promised to "maximize European industry competitiveness ...
+over the next 10 years". Writing in 2026, that decade has elapsed; this
+module records what actually happened to each catalog technology
+(public-record status as of early 2026) and scores the roadmap's
+forecasts against it -- the only ground truth a roadmap reproduction can
+ever have.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.technology import TECHNOLOGY_CATALOG
+from repro.errors import ModelError
+
+
+class Outcome(enum.Enum):
+    """What became of a technology by 2026."""
+
+    COMMODITY = "commodity"  # broadly adopted, boring
+    PARTIAL = "partial"  # real deployments, not yet default
+    NOT_YET = "not_yet"  # still research/niche
+    WITHDRAWN = "withdrawn"  # shipped, then exited the market
+
+
+@dataclass(frozen=True)
+class ActualOutcome:
+    """Public-record status of one technology as of early 2026."""
+
+    technology: str
+    outcome: Outcome
+    actual_year: Optional[int]  # commodity/partial arrival; None if not yet
+    note: str
+
+    def __post_init__(self) -> None:
+        if self.outcome in (Outcome.COMMODITY, Outcome.PARTIAL,
+                            Outcome.WITHDRAWN):
+            if self.actual_year is None:
+                raise ModelError(
+                    f"{self.technology}: arrived outcomes need a year"
+                )
+        elif self.actual_year is not None:
+            raise ModelError(f"{self.technology}: not-yet cannot have a year")
+
+
+#: The decade's scorecard (public record, early 2026).
+ACTUALS_2026: Dict[str, ActualOutcome] = {
+    a.technology: a
+    for a in (
+        ActualOutcome("10-40gbe", Outcome.COMMODITY, 2016,
+                      "already commodity at publication"),
+        ActualOutcome("100gbe", Outcome.COMMODITY, 2019,
+                      "hyperscale default by ~2019"),
+        ActualOutcome("400gbe", Outcome.COMMODITY, 2022,
+                      "hyperscale volume from ~2022 -- 'after 2020' held"),
+        ActualOutcome("silicon-photonics", Outcome.PARTIAL, 2024,
+                      "pluggables everywhere; co-packaged optics ramping"),
+        ActualOutcome("sdn", Outcome.COMMODITY, 2018,
+                      "controller-based fabrics became the default"),
+        ActualOutcome("nfv", Outcome.COMMODITY, 2020,
+                      "telco VNF/CNF mainstream by ~2020"),
+        ActualOutcome("bare-metal-switching", Outcome.PARTIAL, 2020,
+                      "SONiC default at hyperscalers; enterprise mixed"),
+        ActualOutcome("disaggregation", Outcome.PARTIAL, 2024,
+                      "CXL memory pooling shipping, far from default"),
+        ActualOutcome("gpgpu", Outcome.COMMODITY, 2017,
+                      "the ML boom made DC GPUs ubiquitous"),
+        ActualOutcome("fpga-accel", Outcome.PARTIAL, 2018,
+                      "cloud FPGA instances real; never became default"),
+        ActualOutcome("hls-tools", Outcome.PARTIAL, 2021,
+                      "toolchains much better; software devs still rare"),
+        ActualOutcome("asic-accel", Outcome.COMMODITY, 2019,
+                      "TPUs/inferentia-class parts are cloud staples"),
+        ActualOutcome("neuromorphic", Outcome.NOT_YET, None,
+                      "still research-grade in 2026 -- the risk rating held"),
+        ActualOutcome("sip-chiplets", Outcome.COMMODITY, 2020,
+                      "chiplet CPUs took the mainstream -- the big win"),
+        ActualOutcome("nvm", Outcome.WITHDRAWN, 2019,
+                      "Optane DIMMs shipped 2019, discontinued 2022"),
+        ActualOutcome("distributed-frameworks", Outcome.COMMODITY, 2014,
+                      "already commodity at publication"),
+        ActualOutcome("accelerated-blocks", Outcome.PARTIAL, 2020,
+                      "GPU dataframes/SQL engines real but not default"),
+        ActualOutcome("hetero-scheduling", Outcome.COMMODITY, 2021,
+                      "k8s device plugins + cluster autoscaling everywhere"),
+        ActualOutcome("standard-benchmarks", Outcome.COMMODITY, 2019,
+                      "MLPerf (2018-) became exactly the R9 instrument"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class ForecastScore:
+    """Forecast-vs-actual for one technology."""
+
+    technology: str
+    forecast_year: int
+    outcome: Outcome
+    actual_year: Optional[int]
+    note: str
+
+    @property
+    def error_years(self) -> Optional[float]:
+        """Signed forecast error (positive = arrived later than forecast).
+
+        ``None`` when the technology has not arrived (no ground truth yet).
+        """
+        if self.actual_year is None:
+            return None
+        return self.actual_year - self.forecast_year
+
+
+def hindsight_report(
+    actuals: Optional[Dict[str, ActualOutcome]] = None,
+) -> List[ForecastScore]:
+    """Score every catalog technology against the 2026 record."""
+    table = actuals or ACTUALS_2026
+    missing = set(TECHNOLOGY_CATALOG) - set(table)
+    if missing:
+        raise ModelError(f"no actual recorded for: {sorted(missing)}")
+    scores = []
+    for name in sorted(TECHNOLOGY_CATALOG):
+        tech = TECHNOLOGY_CATALOG[name]
+        actual = table[name]
+        scores.append(
+            ForecastScore(
+                technology=name,
+                forecast_year=tech.maturity_year,
+                outcome=actual.outcome,
+                actual_year=actual.actual_year,
+                note=actual.note,
+            )
+        )
+    return scores
+
+
+def forecast_error_summary(
+    scores: Optional[List[ForecastScore]] = None,
+) -> Dict[str, float]:
+    """Aggregate forecast quality over the arrived technologies."""
+    scores = scores if scores is not None else hindsight_report()
+    errors = [s.error_years for s in scores if s.error_years is not None]
+    if not errors:
+        raise ModelError("no arrived technologies to score")
+    absolute = [abs(e) for e in errors]
+    return {
+        "n_scored": float(len(errors)),
+        "mean_error_years": sum(errors) / len(errors),
+        "mean_abs_error_years": sum(absolute) / len(absolute),
+        "max_abs_error_years": max(absolute),
+        "n_not_yet": float(
+            sum(1 for s in scores if s.outcome == Outcome.NOT_YET)
+        ),
+        "n_withdrawn": float(
+            sum(1 for s in scores if s.outcome == Outcome.WITHDRAWN)
+        ),
+    }
+
+
+def risk_calibration(
+    scores: Optional[List[ForecastScore]] = None,
+) -> Dict[str, float]:
+    """Was the catalog's risk rating informative?
+
+    Returns the mean catalog risk of arrived-on-time technologies versus
+    late/never ones; a well-calibrated roadmap rates the latter riskier.
+    """
+    scores = scores if scores is not None else hindsight_report()
+    on_time, troubled = [], []
+    for score in scores:
+        risk = TECHNOLOGY_CATALOG[score.technology].risk
+        late = (
+            score.error_years is None
+            or score.error_years > 2
+            or score.outcome == Outcome.WITHDRAWN
+        )
+        (troubled if late else on_time).append(risk)
+    if not on_time or not troubled:
+        raise ModelError("need both on-time and troubled technologies")
+    return {
+        "mean_risk_on_time": sum(on_time) / len(on_time),
+        "mean_risk_troubled": sum(troubled) / len(troubled),
+    }

@@ -1,0 +1,104 @@
+"""Roadmap assembly: the full pipeline from survey to funded portfolio.
+
+This is the library's top-level "do what the project did" entry point:
+
+1. generate (or accept) the stakeholder corpus,
+2. verify the four Key Findings hold,
+3. score the twelve recommendations,
+4. forecast technology timelines,
+5. optimize the funding portfolio under a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.adoption import BassModel, commodity_year_forecast
+from repro.core.prioritize import Portfolio, optimize_portfolio
+from repro.core.recommendations import ScoredRecommendation, score_all
+from repro.core.technology import TECHNOLOGY_CATALOG, Technology
+from repro.errors import ModelError
+from repro.survey.analysis import Finding, key_findings
+from repro.survey.corpus import generate_corpus
+from repro.survey.stakeholder import Corpus
+
+
+@dataclass(frozen=True)
+class Milestone:
+    """A forecast point on the roadmap timeline."""
+
+    technology: str
+    year: float
+    label: str
+
+
+@dataclass
+class Roadmap:
+    """The complete roadmap artifact."""
+
+    corpus: Corpus
+    findings: List[Finding]
+    scored_recommendations: List[ScoredRecommendation]
+    portfolio: Portfolio
+    milestones: List[Milestone]
+
+    @property
+    def findings_hold(self) -> bool:
+        """Whether every key finding is supported by the corpus."""
+        return all(f.holds for f in self.findings)
+
+    def milestone_for(self, technology: str) -> Milestone:
+        """The forecast milestone of one technology."""
+        for milestone in self.milestones:
+            if milestone.technology == technology:
+                return milestone
+        raise ModelError(f"no milestone for {technology!r}")
+
+    def top_recommendations(self, k: int = 5) -> List[ScoredRecommendation]:
+        """The ``k`` highest-priority recommendations."""
+        if k < 1:
+            raise ModelError("k must be >= 1")
+        return self.scored_recommendations[:k]
+
+
+def forecast_milestones(
+    investment_acceleration: float = 1.0,
+    adoption: Optional[BassModel] = None,
+) -> List[Milestone]:
+    """Commodity-year forecasts for the whole technology catalog."""
+    milestones = []
+    for technology in sorted(TECHNOLOGY_CATALOG.values(), key=lambda t: t.name):
+        year = commodity_year_forecast(
+            technology.trl_2016,
+            investment_acceleration=investment_acceleration,
+            adoption=adoption,
+        )
+        milestones.append(
+            Milestone(
+                technology=technology.name,
+                year=year,
+                label=f"{technology.name} at commodity volume",
+            )
+        )
+    return milestones
+
+
+def build_roadmap(
+    corpus: Optional[Corpus] = None,
+    budget_meur: float = 200.0,
+    investment_acceleration: float = 1.5,
+) -> Roadmap:
+    """Run the full roadmap pipeline; see module docstring."""
+    corpus = corpus or generate_corpus()
+    findings = key_findings(corpus)
+    scored = score_all(corpus)
+    portfolio = optimize_portfolio(scored, budget_meur)
+    milestones = forecast_milestones(investment_acceleration)
+    return Roadmap(
+        corpus=corpus,
+        findings=findings,
+        scored_recommendations=scored,
+        portfolio=portfolio,
+        milestones=milestones,
+    )

@@ -1,0 +1,140 @@
+"""Total-cost-of-ownership building blocks.
+
+The roadmap's Key Finding (2) is that European companies judge hardware by
+ROI under "the most competitive pricing"; every architecture experiment in
+this library therefore reduces to a :class:`TcoModel` comparison: capital
+expense, energy, maintenance, and staffing over an ownership horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import units
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CostItem:
+    """A single named contribution to a TCO breakdown."""
+
+    label: str
+    amount_usd: float
+    category: str  # "capex" | "opex"
+
+    def __post_init__(self) -> None:
+        if self.category not in ("capex", "opex"):
+            raise ModelError(f"unknown cost category: {self.category!r}")
+        if self.amount_usd < 0:
+            raise ModelError(f"negative cost for {self.label!r}")
+
+
+@dataclass
+class TcoBreakdown:
+    """An itemized total cost of ownership."""
+
+    items: List[CostItem] = field(default_factory=list)
+
+    def add(self, label: str, amount_usd: float, category: str) -> None:
+        """Append one cost item."""
+        self.items.append(CostItem(label, amount_usd, category))
+
+    @property
+    def capex_usd(self) -> float:
+        """Sum of capital expenses."""
+        return sum(i.amount_usd for i in self.items if i.category == "capex")
+
+    @property
+    def opex_usd(self) -> float:
+        """Sum of operating expenses over the horizon."""
+        return sum(i.amount_usd for i in self.items if i.category == "opex")
+
+    @property
+    def total_usd(self) -> float:
+        """Capex plus opex."""
+        return self.capex_usd + self.opex_usd
+
+    def by_label(self) -> Dict[str, float]:
+        """Mapping label -> amount, merging duplicate labels."""
+        out: Dict[str, float] = {}
+        for item in self.items:
+            out[item.label] = out.get(item.label, 0.0) + item.amount_usd
+        return out
+
+
+@dataclass(frozen=True)
+class EnergyPrice:
+    """Electricity price plus data-center overhead (PUE)."""
+
+    usd_per_kwh: float = 0.10
+    pue: float = 1.5  # power usage effectiveness; 1.5 was the 2016 norm
+
+    def __post_init__(self) -> None:
+        if self.usd_per_kwh < 0:
+            raise ModelError("negative electricity price")
+        if self.pue < 1.0:
+            raise ModelError(f"PUE cannot be below 1.0, got {self.pue}")
+
+    def cost_usd(self, power_w: float, duration_s: float) -> float:
+        """Electricity cost of drawing ``power_w`` for ``duration_s``."""
+        if power_w < 0 or duration_s < 0:
+            raise ModelError("power and duration must be non-negative")
+        energy_kwh = units.joules_to_kwh(power_w * duration_s) * self.pue
+        return energy_kwh * self.usd_per_kwh
+
+
+def server_tco(
+    purchase_usd: float,
+    power_w: float,
+    horizon_years: float,
+    energy: EnergyPrice = EnergyPrice(),
+    annual_maintenance_frac: float = 0.10,
+    admin_usd_per_year: float = 0.0,
+    utilization: float = 1.0,
+) -> TcoBreakdown:
+    """TCO of one server (or switch) over ``horizon_years``.
+
+    ``utilization`` scales the energy draw between idle (treated as free
+    for simplicity) and full load; maintenance is a yearly fraction of the
+    purchase price, the standard enterprise support-contract model.
+    """
+    if horizon_years <= 0:
+        raise ModelError(f"horizon must be positive, got {horizon_years}")
+    if not 0.0 <= utilization <= 1.0:
+        raise ModelError(f"utilization must be in [0, 1], got {utilization}")
+    breakdown = TcoBreakdown()
+    breakdown.add("purchase", purchase_usd, "capex")
+    seconds = horizon_years * units.YEAR
+    breakdown.add(
+        "energy", energy.cost_usd(power_w * utilization, seconds), "opex"
+    )
+    breakdown.add(
+        "maintenance",
+        purchase_usd * annual_maintenance_frac * horizon_years,
+        "opex",
+    )
+    if admin_usd_per_year:
+        breakdown.add("administration", admin_usd_per_year * horizon_years, "opex")
+    return breakdown
+
+
+def learning_curve_price(
+    first_unit_usd: float, cumulative_units: float, learning_rate: float = 0.85
+) -> float:
+    """Wright's-law unit price after ``cumulative_units`` produced.
+
+    ``learning_rate`` is the price multiplier per doubling of cumulative
+    volume (0.85 means a 15% price drop per doubling), the model used for
+    the "wait for commodity pricing" behaviour reported in Finding 2.
+    """
+    if first_unit_usd < 0:
+        raise ModelError("negative first-unit price")
+    if cumulative_units < 1:
+        raise ModelError(f"cumulative units must be >= 1, got {cumulative_units}")
+    if not 0.0 < learning_rate <= 1.0:
+        raise ModelError(f"learning rate must be in (0, 1], got {learning_rate}")
+    import math
+
+    exponent = math.log2(learning_rate)
+    return first_unit_usd * cumulative_units**exponent

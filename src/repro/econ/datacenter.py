@@ -1,0 +1,134 @@
+"""Whole-data-center TCO: servers + switches + facility over a horizon.
+
+Ties the per-box models together so design studies (and Finding 2's
+decision makers) get one number per candidate design: compute cluster,
+fabric switch fleet, energy at a utilization profile, and facility
+amortization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro import units
+from repro.econ.cost import EnergyPrice, TcoBreakdown
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.cluster.machine import Cluster
+    from repro.network.switch import SwitchModel
+
+
+@dataclass(frozen=True)
+class FacilityModel:
+    """Building, power distribution and cooling capex per rated kW."""
+
+    usd_per_kw: float = 10_000.0
+    amortization_years: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_kw < 0 or self.amortization_years <= 0:
+            raise ModelError("invalid facility parameters")
+
+    def cost_usd(self, critical_power_w: float, horizon_years: float) -> float:
+        """Facility capex attributable to ``horizon_years`` of use."""
+        if critical_power_w < 0 or horizon_years <= 0:
+            raise ModelError("power and horizon must be non-negative/positive")
+        total = self.usd_per_kw * critical_power_w / 1_000.0
+        return total * min(1.0, horizon_years / self.amortization_years)
+
+
+def datacenter_tco(
+    cluster: "Cluster",
+    switch_model: "SwitchModel",
+    horizon_years: float = 5.0,
+    utilization: float = 0.5,
+    energy: EnergyPrice = EnergyPrice(),
+    facility: FacilityModel = FacilityModel(),
+    admin_servers_per_person: float = 250.0,
+    admin_usd_per_year: float = 90_000.0,
+) -> TcoBreakdown:
+    """Itemized TCO of ``cluster`` plus its fabric over ``horizon_years``.
+
+    Switch count comes from the fabric's actual switch nodes; server
+    energy interpolates between idle and peak at ``utilization``;
+    administration staffing follows the servers-per-admin ratio.
+    """
+    if horizon_years <= 0:
+        raise ModelError("horizon must be positive")
+    if not 0.0 <= utilization <= 1.0:
+        raise ModelError("utilization must be in [0, 1]")
+    if cluster.n_servers == 0:
+        raise ModelError("cluster has no servers")
+
+    tco = TcoBreakdown()
+    seconds = horizon_years * units.YEAR
+
+    # -- compute ------------------------------------------------------------
+    tco.add("servers", cluster.total_price_usd(), "capex")
+    idle = cluster.total_idle_power_w()
+    peak = cluster.total_peak_power_w()
+    mean_power = idle + utilization * (peak - idle)
+    tco.add("server-energy", energy.cost_usd(mean_power, seconds), "opex")
+    tco.add(
+        "server-maintenance",
+        cluster.total_price_usd() * 0.08 * horizon_years,
+        "opex",
+    )
+
+    # -- network -----------------------------------------------------------
+    n_switches = len(cluster.fabric.switches)
+    switch_tco = switch_model.tco(horizon_years, energy=energy)
+    tco.add("switches", switch_tco.capex_usd * n_switches, "capex")
+    tco.add("switch-opex", switch_tco.opex_usd * n_switches, "opex")
+
+    # -- facility and people --------------------------------------------------
+    switch_power = switch_model.power_w * n_switches
+    tco.add(
+        "facility",
+        facility.cost_usd(peak + switch_power, horizon_years),
+        "capex",
+    )
+    admins = max(1.0, cluster.n_servers / admin_servers_per_person)
+    tco.add("staff", admins * admin_usd_per_year * horizon_years, "opex")
+    return tco
+
+
+def cost_per_server_hour(
+    cluster: "Cluster",
+    switch_model: "SwitchModel",
+    horizon_years: float = 5.0,
+    utilization: float = 0.5,
+    **kwargs,
+) -> float:
+    """The unit economics number: all-in cost per server-hour."""
+    tco = datacenter_tco(
+        cluster, switch_model, horizon_years, utilization, **kwargs
+    )
+    server_hours = cluster.n_servers * horizon_years * 365 * 24
+    return tco.total_usd / server_hours
+
+
+def design_comparison(
+    designs: Dict[str, tuple],
+    horizon_years: float = 5.0,
+    utilization: float = 0.5,
+) -> Dict[str, Dict[str, float]]:
+    """TCO table across named designs: name -> (cluster, switch_model)."""
+    if not designs:
+        raise ModelError("need at least one design")
+    out = {}
+    for name, (cluster, switch_model) in designs.items():
+        tco = datacenter_tco(
+            cluster, switch_model, horizon_years, utilization
+        )
+        out[name] = {
+            "capex_usd": tco.capex_usd,
+            "opex_usd": tco.opex_usd,
+            "total_usd": tco.total_usd,
+            "usd_per_server_hour": cost_per_server_hour(
+                cluster, switch_model, horizon_years, utilization
+            ),
+        }
+    return out

@@ -1,0 +1,140 @@
+"""Silicon process-node and die-cost models.
+
+Supports the paper's SoC-vs-SiP argument (§IV.B.3): an SoC "must be
+implemented using a single silicon process ... the die must be fabricated
+using an expensive leading edge silicon technology", while a SiP can mix
+chiplets from different (cheaper, higher-yield) nodes.
+
+Die yield uses the negative-binomial model standard in cost-of-silicon
+literature, with a Poisson/Murphy alternative retained for the ablation
+bench (E5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ModelError
+
+#: Standard 300 mm wafer.
+WAFER_DIAMETER_MM = 300.0
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """A silicon technology node with cost and defect parameters.
+
+    ``defect_density_per_cm2`` and ``wafer_cost_usd`` are calibrated to
+    published 2016-era estimates; leading-edge nodes cost more per wafer
+    and, early in their life, have higher defect densities.
+    """
+
+    name: str
+    feature_nm: float
+    wafer_cost_usd: float
+    defect_density_per_cm2: float
+    mask_set_cost_usd: float
+    # Relative logic density vs 28 nm (transistors per area).
+    density_vs_28nm: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ModelError("feature size must be positive")
+        if min(self.wafer_cost_usd, self.defect_density_per_cm2,
+               self.mask_set_cost_usd, self.density_vs_28nm) < 0:
+            raise ModelError(f"negative parameter on node {self.name}")
+
+
+#: 2016-era process catalog (approximate public figures).
+PROCESS_CATALOG: Dict[str, ProcessNode] = {
+    node.name: node
+    for node in (
+        ProcessNode("65nm", 65.0, 1_900.0, 0.08, 1.0e6, 0.19),
+        ProcessNode("40nm", 40.0, 2_600.0, 0.10, 2.0e6, 0.49),
+        ProcessNode("28nm", 28.0, 3_500.0, 0.12, 3.0e6, 1.00),
+        ProcessNode("16nm", 16.0, 6_000.0, 0.18, 9.0e6, 2.50),
+        ProcessNode("10nm", 10.0, 9_000.0, 0.25, 15.0e6, 4.20),
+        ProcessNode("7nm", 7.0, 12_000.0, 0.33, 25.0e6, 6.70),
+    )
+}
+
+
+def dies_per_wafer(die_area_mm2: float, diameter_mm: float = WAFER_DIAMETER_MM) -> int:
+    """Gross dies per wafer (standard edge-loss formula)."""
+    if die_area_mm2 <= 0:
+        raise ModelError(f"die area must be positive, got {die_area_mm2}")
+    radius = diameter_mm / 2.0
+    wafer_area = math.pi * radius**2
+    edge_loss = math.pi * diameter_mm / math.sqrt(2.0 * die_area_mm2)
+    count = wafer_area / die_area_mm2 - edge_loss
+    return max(0, int(count))
+
+
+def yield_negative_binomial(
+    die_area_mm2: float, defect_density_per_cm2: float, alpha: float = 3.0
+) -> float:
+    """Die yield under the negative-binomial (clustered-defect) model.
+
+    ``alpha`` is the clustering parameter; alpha -> infinity recovers the
+    Poisson model.
+    """
+    _check_yield_args(die_area_mm2, defect_density_per_cm2)
+    if alpha <= 0:
+        raise ModelError(f"alpha must be positive, got {alpha}")
+    defects = defect_density_per_cm2 * die_area_mm2 / 100.0  # mm^2 -> cm^2
+    return (1.0 + defects / alpha) ** -alpha
+
+
+def yield_poisson(die_area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Die yield under the Poisson (independent-defect) model."""
+    _check_yield_args(die_area_mm2, defect_density_per_cm2)
+    defects = defect_density_per_cm2 * die_area_mm2 / 100.0
+    return math.exp(-defects)
+
+
+def _check_yield_args(die_area_mm2: float, defect_density_per_cm2: float) -> None:
+    if die_area_mm2 <= 0:
+        raise ModelError(f"die area must be positive, got {die_area_mm2}")
+    if defect_density_per_cm2 < 0:
+        raise ModelError("defect density cannot be negative")
+
+
+def die_cost_usd(
+    die_area_mm2: float,
+    node: ProcessNode,
+    yield_model: str = "negative_binomial",
+    alpha: float = 3.0,
+) -> float:
+    """Manufacturing cost of one *good* die on ``node``.
+
+    Wafer cost divided by good dies per wafer. ``yield_model`` selects
+    between ``"negative_binomial"`` (default) and ``"poisson"`` for the
+    E5 ablation.
+    """
+    gross = dies_per_wafer(die_area_mm2)
+    if gross == 0:
+        raise ModelError(
+            f"die of {die_area_mm2} mm^2 does not fit on a "
+            f"{WAFER_DIAMETER_MM} mm wafer"
+        )
+    if yield_model == "negative_binomial":
+        good_fraction = yield_negative_binomial(
+            die_area_mm2, node.defect_density_per_cm2, alpha
+        )
+    elif yield_model == "poisson":
+        good_fraction = yield_poisson(die_area_mm2, node.defect_density_per_cm2)
+    else:
+        raise ModelError(f"unknown yield model: {yield_model!r}")
+    good = gross * good_fraction
+    if good < 1e-9:
+        raise ModelError("yield is effectively zero for this die size")
+    return node.wafer_cost_usd / good
+
+
+def scaled_area_mm2(area_at_28nm_mm2: float, node: ProcessNode) -> float:
+    """Area of a 28 nm design ported to ``node`` (density scaling)."""
+    if area_at_28nm_mm2 <= 0:
+        raise ModelError("area must be positive")
+    return area_at_28nm_mm2 / node.density_vs_28nm

@@ -1,0 +1,242 @@
+"""SoC versus System-in-Package (SiP) cost comparison.
+
+Implements §IV.B.3: a monolithic SoC forces every subsystem onto one
+(leading-edge) process and re-spins the whole die for any interface
+change, while a SiP (as pioneered by the EC EUROSERVER project) assembles
+chiplets that may each use the cheapest adequate node and be replaced
+individually.
+
+The headline experiment (E5) sweeps lifetime volume and finds the
+crossover volume below which SiP is cheaper -- the paper's claim that SiP
+"may give smaller companies a better opportunity to compete".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.econ.nre import ChipProject, EngineeringRates
+from repro.econ.silicon import ProcessNode, die_cost_usd, scaled_area_mm2
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Subsystem:
+    """A functional block of a server chip (cores, I/O, accelerator...).
+
+    ``area_at_28nm_mm2`` is the block's area if built at 28 nm;
+    ``needs_leading_edge`` marks performance-critical logic (CPU cores)
+    that must use the most advanced node in the design;
+    ``design_effort_person_years`` is the block's share of NRE labour.
+    """
+
+    name: str
+    area_at_28nm_mm2: float
+    design_effort_person_years: float
+    needs_leading_edge: bool = False
+    preferred_node: Optional[str] = None  # else cheapest adequate node
+
+    def __post_init__(self) -> None:
+        if self.area_at_28nm_mm2 <= 0:
+            raise ModelError(f"subsystem {self.name}: area must be positive")
+        if self.design_effort_person_years < 0:
+            raise ModelError(f"subsystem {self.name}: negative design effort")
+
+
+@dataclass(frozen=True)
+class PackagingModel:
+    """SiP packaging cost parameters (substrate + assembly + test)."""
+
+    base_usd: float = 8.0
+    per_chiplet_usd: float = 4.0
+    assembly_yield: float = 0.98  # per-chiplet attach yield
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.assembly_yield <= 1.0:
+            raise ModelError("assembly yield must be in (0, 1]")
+
+    def cost_usd(self, n_chiplets: int) -> float:
+        """Packaging cost for a SiP with ``n_chiplets``."""
+        if n_chiplets < 1:
+            raise ModelError("a SiP needs at least one chiplet")
+        return self.base_usd + self.per_chiplet_usd * n_chiplets
+
+    def package_yield(self, n_chiplets: int) -> float:
+        """Probability every chiplet attaches successfully."""
+        return self.assembly_yield**n_chiplets
+
+
+@dataclass
+class ChipDesign:
+    """A complete server-chip design as a set of subsystems."""
+
+    name: str
+    subsystems: List[Subsystem]
+    leading_node: ProcessNode
+    commodity_node: ProcessNode
+    packaging: PackagingModel = field(default_factory=PackagingModel)
+    rates: EngineeringRates = field(default_factory=EngineeringRates)
+
+    def __post_init__(self) -> None:
+        if not self.subsystems:
+            raise ModelError("design needs at least one subsystem")
+        if self.leading_node.feature_nm > self.commodity_node.feature_nm:
+            raise ModelError(
+                "leading node must be at least as advanced as commodity node"
+            )
+
+    # -- SoC --------------------------------------------------------------
+
+    def soc_unit_cost_usd(self) -> float:
+        """Per-unit silicon cost of the monolithic SoC.
+
+        The whole die is on the leading-edge node (the paper: the SoC
+        "must be implemented using a single silicon process" and the
+        performance-critical cores pin that process to the leading edge).
+        """
+        total_area = sum(
+            scaled_area_mm2(s.area_at_28nm_mm2, self.leading_node)
+            for s in self.subsystems
+        )
+        return die_cost_usd(total_area, self.leading_node)
+
+    def soc_nre(self) -> ChipProject:
+        """NRE of the monolithic project: one big design, one mask set."""
+        effort = sum(s.design_effort_person_years for s in self.subsystems)
+        # Integration overhead: a monolithic design couples every block.
+        integration = 0.25 * effort
+        return ChipProject(
+            name=f"{self.name}-soc",
+            node=self.leading_node,
+            design_effort_person_years=effort + integration,
+            rates=self.rates,
+        )
+
+    # -- SiP --------------------------------------------------------------
+
+    def _chiplet_node(self, subsystem: Subsystem) -> ProcessNode:
+        if subsystem.needs_leading_edge:
+            return self.leading_node
+        return self.commodity_node
+
+    def sip_unit_cost_usd(self) -> float:
+        """Per-unit cost of the SiP: chiplet dies + packaging, yield-adjusted."""
+        die_total = 0.0
+        for subsystem in self.subsystems:
+            node = self._chiplet_node(subsystem)
+            area = scaled_area_mm2(subsystem.area_at_28nm_mm2, node)
+            die_total += die_cost_usd(area, node)
+        n = len(self.subsystems)
+        packaged = die_total + self.packaging.cost_usd(n)
+        return packaged / self.packaging.package_yield(n)
+
+    def sip_nre(self) -> ChipProject:
+        """NRE of the SiP project.
+
+        Each chiplet is a smaller design (no cross-block integration),
+        but each needs its own mask set; mask cost is dominated by the
+        cheap commodity node for most chiplets. Modelled as one
+        aggregated project on the *commodity* node with per-chiplet mask
+        surcharges folded into IP licensing.
+        """
+        effort = sum(s.design_effort_person_years for s in self.subsystems)
+        mask_total = sum(
+            self._chiplet_node(s).mask_set_cost_usd for s in self.subsystems
+        )
+        # Represent the multi-mask reality by charging the first mask set
+        # via the project node and the rest as direct costs.
+        project = ChipProject(
+            name=f"{self.name}-sip",
+            node=self.commodity_node,
+            design_effort_person_years=effort,
+            ip_licensing_usd=mask_total - self.commodity_node.mask_set_cost_usd,
+            respins=0,
+            rates=self.rates,
+        )
+        return project
+
+    # -- comparison ---------------------------------------------------------
+
+    def cost_per_unit_at_volume(self, volume_units: float) -> Dict[str, float]:
+        """All-in per-unit cost (silicon + amortized NRE) for both styles."""
+        if volume_units <= 0:
+            raise ModelError(f"volume must be positive, got {volume_units}")
+        soc = self.soc_unit_cost_usd() + self.soc_nre().amortized_usd_per_unit(
+            volume_units
+        )
+        sip = self.sip_unit_cost_usd() + self.sip_nre().amortized_usd_per_unit(
+            volume_units
+        )
+        return {"soc": soc, "sip": sip}
+
+    def crossover_volume(
+        self, lo: float = 1e3, hi: float = 1e9, tolerance: float = 0.01
+    ) -> Optional[float]:
+        """Volume above which the SoC becomes cheaper per unit.
+
+        Returns ``None`` if one option dominates across ``[lo, hi]``.
+        """
+
+        def advantage(volume: float) -> float:
+            costs = self.cost_per_unit_at_volume(volume)
+            return costs["sip"] - costs["soc"]  # >0 means SoC cheaper
+
+        at_lo, at_hi = advantage(lo), advantage(hi)
+        if at_lo > 0 and at_hi > 0:
+            return None  # SoC always cheaper
+        if at_lo < 0 and at_hi < 0:
+            return None  # SiP always cheaper
+        while hi / lo > 1.0 + tolerance:
+            mid = (lo * hi) ** 0.5
+            if (advantage(mid) > 0) == (at_hi > 0):
+                hi = mid
+            else:
+                lo = mid
+        return (lo * hi) ** 0.5
+
+    def interface_upgrade_cost_usd(self, subsystem_name: str) -> Dict[str, float]:
+        """NRE to swap one subsystem (e.g. add a 40 GbE interface).
+
+        The paper: for an SoC, "adding a new interface requires a costly
+        redesign" (full-die respin); for a SiP only the affected chiplet
+        is redesigned and re-masked.
+        """
+        target = next(
+            (s for s in self.subsystems if s.name == subsystem_name), None
+        )
+        if target is None:
+            raise ModelError(f"unknown subsystem: {subsystem_name!r}")
+        soc_cost = (
+            self.soc_nre().design_cost_usd * 0.3  # rework + re-verify the die
+            + self.leading_node.mask_set_cost_usd
+        )
+        node = self._chiplet_node(target)
+        sip_cost = (
+            target.design_effort_person_years
+            * self.rates.hardware_engineer_usd_per_year
+            * (1.0 + self.rates.verification_fraction)
+            + node.mask_set_cost_usd
+        )
+        return {"soc": soc_cost, "sip": sip_cost}
+
+
+def euroserver_reference_design(
+    leading: ProcessNode, commodity: ProcessNode
+) -> ChipDesign:
+    """A EUROSERVER-like micro-server design used by tests and benches.
+
+    Four subsystems: ARM core cluster (leading edge), DDR+NVM memory
+    controller, 10/40 GbE I/O chiplet, and an analytics accelerator.
+    """
+    return ChipDesign(
+        name="euroserver",
+        subsystems=[
+            Subsystem("cpu-cluster", 80.0, 40.0, needs_leading_edge=True),
+            Subsystem("memory-controller", 30.0, 12.0),
+            Subsystem("network-io", 25.0, 10.0),
+            Subsystem("analytics-accelerator", 45.0, 18.0),
+        ],
+        leading_node=leading,
+        commodity_node=commodity,
+    )

@@ -1,0 +1,126 @@
+"""Market-entry viability: can Europe field a new FPGA vendor? (R6)
+
+Recommendation 6 closes with "Europe should also encourage a new entrant
+into the FPGA industry". This module prices that encouragement: an
+entrant pays chip NRE plus a toolchain investment, then captures share
+from the incumbents along a logistic ramp; the question is the break-even
+year as a function of subsidy and achievable share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.adoption import LogisticModel
+from repro.econ.nre import ChipProject, EngineeringRates
+from repro.econ.silicon import PROCESS_CATALOG, ProcessNode
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class MarketEntryPlan:
+    """An entrant's business case.
+
+    ``target_share``: the asymptotic share of ``market_usd_per_year`` the
+    entrant can win; ``ramp``: logistic share ramp; ``gross_margin``:
+    contribution margin on revenue; ``toolchain_effort_person_years``:
+    the software moat (for FPGAs it rivals the silicon itself).
+    """
+
+    name: str
+    market_usd_per_year: float
+    target_share: float
+    gross_margin: float
+    chip_design_effort_person_years: float
+    toolchain_effort_person_years: float
+    node: ProcessNode
+    subsidy_usd: float = 0.0
+    ramp: LogisticModel = LogisticModel(midpoint_years=4.0, steepness=0.9)
+    rates: EngineeringRates = EngineeringRates()
+
+    def __post_init__(self) -> None:
+        if self.market_usd_per_year <= 0:
+            raise ModelError("market size must be positive")
+        if not 0.0 < self.target_share <= 1.0:
+            raise ModelError("target share must be in (0, 1]")
+        if not 0.0 < self.gross_margin < 1.0:
+            raise ModelError("gross margin must be in (0, 1)")
+        if self.subsidy_usd < 0:
+            raise ModelError("subsidy cannot be negative")
+
+    def upfront_investment_usd(self) -> float:
+        """Chip NRE + toolchain, net of subsidy."""
+        chip = ChipProject(
+            name=f"{self.name}-silicon",
+            node=self.node,
+            design_effort_person_years=self.chip_design_effort_person_years,
+            software_effort_person_years=self.toolchain_effort_person_years,
+            rates=self.rates,
+        )
+        return max(0.0, chip.total_nre_usd() - self.subsidy_usd)
+
+    def revenue_usd_in_year(self, year: float) -> float:
+        """Entrant revenue ``year`` years after launch."""
+        if year < 0:
+            return 0.0
+        share = self.target_share * self.ramp.cumulative_fraction(year)
+        return share * self.market_usd_per_year
+
+    def cumulative_contribution_usd(self, years: float, step: float = 0.25) -> float:
+        """Gross contribution integrated over ``years`` (trapezoid)."""
+        if years < 0:
+            raise ModelError("years cannot be negative")
+        total = 0.0
+        t = 0.0
+        while t < years:
+            dt = min(step, years - t)
+            lo = self.revenue_usd_in_year(t)
+            hi = self.revenue_usd_in_year(t + dt)
+            total += 0.5 * (lo + hi) * dt
+            t += dt
+        return total * self.gross_margin
+
+    def breakeven_year(self, horizon_years: float = 15.0) -> Optional[float]:
+        """Year cumulative contribution covers the upfront investment."""
+        target = self.upfront_investment_usd()
+        lo, hi = 0.0, horizon_years
+        if self.cumulative_contribution_usd(hi) < target:
+            return None
+        while hi - lo > 0.01:
+            mid = (lo + hi) / 2.0
+            if self.cumulative_contribution_usd(mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+
+def eu_fpga_entrant(subsidy_usd: float = 0.0) -> MarketEntryPlan:
+    """A 2016-calibrated European FPGA entrant business case.
+
+    FPGA market ~ $4.5B/yr; a credible entrant targets 5% with a 16 nm
+    part, ~120 py of silicon and ~200 py of toolchain (the moat).
+    """
+    return MarketEntryPlan(
+        name="eu-fpga",
+        market_usd_per_year=4.5e9,
+        target_share=0.05,
+        gross_margin=0.55,
+        chip_design_effort_person_years=120.0,
+        toolchain_effort_person_years=200.0,
+        node=PROCESS_CATALOG["16nm"],
+        subsidy_usd=subsidy_usd,
+    )
+
+
+def subsidy_sensitivity(
+    subsidies_usd: List[float], plan_factory=eu_fpga_entrant
+) -> Dict[float, Optional[float]]:
+    """Break-even year as a function of public subsidy."""
+    if not subsidies_usd:
+        raise ModelError("need at least one subsidy level")
+    return {
+        subsidy: plan_factory(subsidy).breakeven_year()
+        for subsidy in subsidies_usd
+    }

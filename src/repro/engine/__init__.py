@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel follows the SimPy model: processes are generators yielding
+:class:`~repro.engine.sim.Event` objects; :class:`~repro.engine.sim.Simulator`
+owns the virtual clock. :mod:`~repro.engine.resources` adds counted
+resources, continuous containers and FIFO stores;
+:mod:`~repro.engine.trace` collects metrics; and
+:mod:`~repro.engine.randomness` provides reproducible variate streams.
+"""
+
+from repro.engine.randomness import RandomStream
+from repro.engine.resources import Container, Resource, Store
+from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator
+from repro.engine.trace import (
+    MetricSeries,
+    Tracer,
+    confidence_interval_95,
+    summarize,
+)
+
+__all__ = [
+    "Container",
+    "Event",
+    "Interrupt",
+    "MetricSeries",
+    "ProcessHandle",
+    "RandomStream",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Tracer",
+    "confidence_interval_95",
+    "summarize",
+]

@@ -1,0 +1,109 @@
+"""Seeded random-variate streams for simulations.
+
+Every stochastic component takes a :class:`RandomStream` so experiments
+are reproducible and independent components draw from independent
+streams (split off a root seed with :meth:`RandomStream.fork`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class RandomStream:
+    """A named, seeded wrapper over :class:`numpy.random.Generator`."""
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = int(seed)
+        self.name = name
+        self._rng = np.random.default_rng(self.seed)
+
+    def fork(self, name: str) -> "RandomStream":
+        """Derive an independent child stream keyed by ``name``.
+
+        The child seed is a stable hash of (parent seed, name), so forks
+        are order-independent: forking "arrivals" then "service" yields
+        the same streams as the reverse order.
+        """
+        seq = np.random.SeedSequence([self.seed, _stable_hash(name)])
+        child_seed = int(seq.generate_state(1, dtype=np.uint64)[0] % (2**63))
+        return RandomStream(child_seed, name=f"{self.name}/{name}")
+
+    # -- variates ----------------------------------------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """A uniform draw on ``[low, high)``."""
+        return float(self._rng.uniform(low, high))
+
+    def exponential(self, mean: float) -> float:
+        """An exponential draw with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return float(self._rng.exponential(mean))
+
+    def normal(self, mean: float, std: float) -> float:
+        """A normal draw."""
+        return float(self._rng.normal(mean, std))
+
+    def lognormal(self, median: float, sigma: float) -> float:
+        """A lognormal draw parameterized by its median and log-space sigma."""
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        return float(self._rng.lognormal(np.log(median), sigma))
+
+    def pareto(self, shape: float, scale: float) -> float:
+        """A Pareto (heavy-tailed) draw with minimum value ``scale``."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        return float(scale * (1.0 + self._rng.pareto(shape)))
+
+    def integer(self, low: int, high: int) -> int:
+        """A uniform integer on ``[low, high)``."""
+        return int(self._rng.integers(low, high))
+
+    def choice(self, options: Sequence, p: Optional[Sequence[float]] = None):
+        """Choose one element, optionally weighted by ``p``."""
+        index = int(self._rng.choice(len(options), p=p))
+        return options[index]
+
+    def shuffle(self, items: list) -> list:
+        """Return a new list with ``items`` in shuffled order."""
+        order = self._rng.permutation(len(items))
+        return [items[i] for i in order]
+
+    def zipf_indices(self, n_items: int, skew: float, size: int) -> np.ndarray:
+        """Draw ``size`` item indices from a Zipf(skew) law over ``n_items``.
+
+        Uses explicit normalization (rather than ``numpy.random.zipf``) so
+        the support is exactly ``0..n_items-1``.
+        """
+        if n_items < 1:
+            raise ValueError(f"need at least one item, got {n_items}")
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        ranks = np.arange(1, n_items + 1, dtype=float)
+        weights = ranks**-skew
+        weights /= weights.sum()
+        return self._rng.choice(n_items, size=size, p=weights)
+
+    def poisson(self, lam: float) -> int:
+        """A Poisson count draw."""
+        if lam < 0:
+            raise ValueError(f"lambda must be non-negative, got {lam}")
+        return int(self._rng.poisson(lam))
+
+    @property
+    def numpy(self) -> np.random.Generator:
+        """Escape hatch: the underlying numpy generator."""
+        return self._rng
+
+
+def _stable_hash(text: str) -> int:
+    """A process-stable 63-bit hash of ``text`` (``hash()`` is salted)."""
+    value = 1469598103934665603  # FNV-1a offset basis
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 1099511628211) % (2**63)
+    return value

@@ -1,0 +1,298 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, dependency-free DES in the style of SimPy: processes are Python
+generators that ``yield`` events; the :class:`Simulator` advances a
+virtual clock and resumes processes when the events they wait on fire.
+
+The kernel is deterministic: ties in event time are broken by a strictly
+increasing sequence number, so two runs with the same seed produce
+identical traces.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 2.0))
+>>> _ = sim.spawn(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Type alias for simulation processes.
+Process = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, becomes *triggered* when given a value (or
+    an exception), and notifies all registered callbacks exactly once.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` until triggered)."""
+        return self._value
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event fires.
+
+        If the event already fired, the callback is scheduled to run
+        immediately (at the current simulation time).
+        """
+        if self._triggered:
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception to raise in the waiter."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._exception = exception
+        self._flush()
+        return self
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_call(lambda cb=callback: cb(self))
+
+
+class ProcessHandle(Event):
+    """The running instance of a process generator.
+
+    A ``ProcessHandle`` is itself an :class:`Event` that fires with the
+    generator's return value when the process finishes, so processes can
+    wait on each other: ``yield sim.spawn(child(sim))``.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Process, name: str = "") -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+
+    def _step(self, fired: Optional[Event]) -> None:
+        """Advance the generator by one yield."""
+        if self._triggered:
+            return  # process already finished (e.g. via interrupt)
+        if fired is not None and fired is not self._waiting_on:
+            return  # stale wakeup from an event abandoned after an interrupt
+        self._waiting_on = None
+        try:
+            if fired is not None and fired._exception is not None:
+                target = self.generator.throw(fired._exception)
+            else:
+                send_value = fired._value if fired is not None else None
+                target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time."""
+        if self._triggered:
+            return
+        self.sim._schedule_call(lambda: self._deliver_interrupt(cause))
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None  # abandon whatever we were waiting on
+        try:
+            target = self.generator.throw(Interrupt(cause))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: it terminates.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__} "
+                "after interrupt, expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Simulator:
+    """Event loop owning the virtual clock.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the clock (defaults to ``0.0``).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of scheduled callbacks executed so far."""
+        return self._event_count
+
+    # -- scheduling primitives -------------------------------------------
+
+    def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), call))
+
+    def _schedule_call(self, call: Callable[[], None]) -> None:
+        self._schedule_at(self._now, call)
+
+    # -- public API --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        evt = Event(self)
+        self._schedule_at(self._now + delay, lambda: evt.succeed(value))
+        return evt
+
+    def spawn(self, generator: Process, name: str = "") -> ProcessHandle:
+        """Start a new process and return its handle."""
+        handle = ProcessHandle(self, generator, name)
+        self._schedule_call(lambda: handle._step(None))
+        return handle
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event firing when *all* of ``events`` have fired.
+
+        Fires with the list of individual values, in input order.
+        """
+        pending = list(events)
+        gate = Event(self)
+        if not pending:
+            self._schedule_call(lambda: gate.succeed([]))
+            return gate
+        remaining = {"count": len(pending)}
+        values: list[Any] = [None] * len(pending)
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_fire(evt: Event) -> None:
+                values[index] = evt.value
+                remaining["count"] -= 1
+                if remaining["count"] == 0 and not gate.triggered:
+                    gate.succeed(list(values))
+
+            return on_fire
+
+        for index, evt in enumerate(pending):
+            evt.add_callback(make_callback(index))
+        return gate
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event firing when the *first* of ``events`` fires.
+
+        Fires with a ``(index, value)`` tuple for the winner.
+        """
+        pending = list(events)
+        if not pending:
+            raise SimulationError("any_of requires at least one event")
+        gate = Event(self)
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_fire(evt: Event) -> None:
+                if not gate.triggered:
+                    gate.succeed((index, evt.value))
+
+            return on_fire
+
+        for index, evt in enumerate(pending):
+            evt.add_callback(make_callback(index))
+        return gate
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final clock value.
+        """
+        while self._queue:
+            when, _seq, call = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            self._event_count += 1
+            call()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None

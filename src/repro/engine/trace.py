@@ -1,0 +1,143 @@
+"""Metric collection for simulations.
+
+:class:`MetricSeries` accumulates (time, value) samples and computes the
+summary statistics the experiments report: mean, percentiles (for tail
+latency), time-weighted averages (for queue lengths and utilization).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class MetricSeries:
+    """A named series of samples taken during a simulation run."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample at simulation ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """All sampled values, in time order."""
+        return list(self._values)
+
+    @property
+    def times(self) -> List[float]:
+        """Sample timestamps, in order."""
+        return list(self._times)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self._values:
+            raise ValueError(f"metric {self.name!r} has no samples")
+        return float(np.mean(self._values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the samples."""
+        if not self._values:
+            raise ValueError(f"metric {self.name!r} has no samples")
+        return float(np.percentile(self._values, q))
+
+    def p50(self) -> float:
+        """Median sample."""
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        """99th-percentile sample (the paper's tail-latency metric)."""
+        return self.percentile(99.0)
+
+    def maximum(self) -> float:
+        """Largest sample."""
+        if not self._values:
+            raise ValueError(f"metric {self.name!r} has no samples")
+        return max(self._values)
+
+    def time_weighted_mean(self, horizon: float) -> float:
+        """Mean of a piecewise-constant signal over ``[0, horizon]``.
+
+        Each sample is interpreted as the signal value from its timestamp
+        until the next sample (or the horizon).
+        """
+        if not self._values:
+            raise ValueError(f"metric {self.name!r} has no samples")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self._times, self._values)):
+            t_next = self._times[i + 1] if i + 1 < len(self._times) else horizon
+            t_next = min(t_next, horizon)
+            if t >= horizon:
+                break
+            total += v * (t_next - t)
+        # Signal is 0 before the first sample.
+        return total / horizon
+
+
+@dataclass
+class Tracer:
+    """A bag of named :class:`MetricSeries`, one per metric."""
+
+    series: Dict[str, MetricSeries] = field(default_factory=dict)
+
+    def metric(self, name: str) -> MetricSeries:
+        """Get or create the series called ``name``."""
+        if name not in self.series:
+            self.series[name] = MetricSeries(name)
+        return self.series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Record one sample on the named series."""
+        self.metric(name).record(time, value)
+
+    def names(self) -> List[str]:
+        """Sorted list of metric names recorded so far."""
+        return sorted(self.series)
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a raw sample list.
+
+    Returns mean, standard deviation, min, p50, p90, p99 and max --
+    the row format used throughout EXPERIMENTS.md.
+    """
+    if not samples:
+        raise ValueError("cannot summarize an empty sample list")
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def confidence_interval_95(samples: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95% confidence interval for the mean."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    mean = float(arr.mean())
+    half = 1.96 * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return (mean - half, mean + half)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the rethinkbig reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed network topologies or unroutable paths."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a job cannot be scheduled onto the available devices."""
+
+
+class PlanError(ReproError):
+    """Raised for invalid dataflow plans (unknown operators, bad arity)."""
+
+
+class ModelError(ReproError):
+    """Raised when an analytical model is given out-of-domain parameters."""
+
+
+class RegistryError(ReproError):
+    """Raised for missing or duplicate entries in library registries."""

@@ -1,0 +1,147 @@
+"""Straggler and failure injection for BSP stages.
+
+Distributed frameworks exist because "shared-nothing clusters" fail and
+straggle; a BSP stage takes as long as its slowest host. This module
+models per-host slowdown/failure and the two standard mitigations --
+task retry and speculative execution -- so experiments can quantify how
+much tail the framework layer itself adds on top of the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.randomness import RandomStream
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-task stochastic behaviour on a cluster.
+
+    ``straggler_probability``: chance a task runs ``straggler_slowdown``
+    times longer (GC pause, flaky disk, noisy neighbour).
+    ``failure_probability``: chance a task dies and must be retried from
+    scratch.
+    """
+
+    straggler_probability: float = 0.05
+    straggler_slowdown: float = 8.0
+    failure_probability: float = 0.01
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        for p in (self.straggler_probability, self.failure_probability):
+            if not 0.0 <= p < 1.0:
+                raise ModelError("probabilities must be in [0, 1)")
+        if self.straggler_slowdown < 1.0:
+            raise ModelError("slowdown must be >= 1")
+        if self.max_retries < 0:
+            raise ModelError("retries cannot be negative")
+
+
+def task_time_with_faults(
+    base_time_s: float, model: FaultModel, rng: RandomStream
+) -> float:
+    """One task's wall-clock under the fault model (with retries).
+
+    A failed attempt costs its full (possibly straggling) duration before
+    the retry starts; exceeding ``max_retries`` raises.
+    """
+    if base_time_s <= 0:
+        raise ModelError("base time must be positive")
+    total = 0.0
+    for _attempt in range(model.max_retries + 1):
+        duration = base_time_s
+        if rng.uniform() < model.straggler_probability:
+            duration *= model.straggler_slowdown
+        total += duration
+        if rng.uniform() >= model.failure_probability:
+            return total
+    raise ModelError("task exceeded retry budget")
+
+
+@dataclass
+class StageOutcome:
+    """Result of simulating one BSP stage under faults."""
+
+    task_times_s: List[float]
+    stage_time_s: float
+    speculative_copies: int
+
+
+def bsp_stage_time(
+    n_tasks: int,
+    base_time_s: float,
+    model: FaultModel,
+    rng: RandomStream,
+    speculative: bool = False,
+    speculation_threshold: float = 2.0,
+) -> StageOutcome:
+    """Duration of a stage of ``n_tasks`` equal tasks under faults.
+
+    With ``speculative`` execution, any task exceeding
+    ``speculation_threshold`` times the median spawns a backup copy; the
+    earlier of original and backup wins (the MapReduce mitigation). The
+    model is analytic-per-task (tasks run fully parallel -- one wave).
+    """
+    if n_tasks < 1:
+        raise ModelError("need at least one task")
+    times = [
+        task_time_with_faults(base_time_s, model, rng) for _ in range(n_tasks)
+    ]
+    copies = 0
+    if speculative:
+        median = sorted(times)[len(times) // 2]
+        cutoff = speculation_threshold * median
+        mitigated = []
+        for t in times:
+            if t > cutoff:
+                # Backup launched at the cutoff point; it is fresh, so it
+                # re-samples the fault model.
+                backup = cutoff + task_time_with_faults(
+                    base_time_s, model, rng
+                )
+                mitigated.append(min(t, backup))
+                copies += 1
+            else:
+                mitigated.append(t)
+        times = mitigated
+    return StageOutcome(
+        task_times_s=times,
+        stage_time_s=max(times),
+        speculative_copies=copies,
+    )
+
+
+def speculation_benefit(
+    n_tasks: int,
+    base_time_s: float,
+    model: FaultModel,
+    seed: int = 5,
+    rounds: int = 30,
+) -> Dict[str, float]:
+    """Mean stage time with and without speculative execution."""
+    if rounds < 1:
+        raise ModelError("need at least one round")
+    plain_total = 0.0
+    spec_total = 0.0
+    copies = 0
+    for round_index in range(rounds):
+        rng_plain = RandomStream(seed, f"plain{round_index}")
+        rng_spec = RandomStream(seed, f"spec{round_index}")
+        plain_total += bsp_stage_time(
+            n_tasks, base_time_s, model, rng_plain
+        ).stage_time_s
+        outcome = bsp_stage_time(
+            n_tasks, base_time_s, model, rng_spec, speculative=True
+        )
+        spec_total += outcome.stage_time_s
+        copies += outcome.speculative_copies
+    return {
+        "plain_mean_s": plain_total / rounds,
+        "speculative_mean_s": spec_total / rounds,
+        "speedup": plain_total / spec_total,
+        "mean_copies": copies / rounds,
+    }

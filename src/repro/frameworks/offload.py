@@ -1,0 +1,70 @@
+"""Operator-to-device offload policies (Recommendation 10/11 glue).
+
+An :class:`OffloadPolicy` decides, per building block and record batch,
+which of a server's devices runs the operator. Policies:
+
+- ``cpu_only``: the Finding-1 baseline -- accelerators idle.
+- ``greedy_time``: fastest device for the batch (includes launch
+  overhead, so small batches stay on the CPU).
+- ``greedy_energy``: lowest-energy device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.blocks import BlockRegistry, BuildingBlock
+from repro.errors import ModelError, SchedulingError
+from repro.node.device import ComputeDevice
+from repro.node.server import Server
+
+
+@dataclass(frozen=True)
+class OffloadPolicy:
+    """A named device-selection rule."""
+
+    name: str
+
+    VALID = ("cpu_only", "greedy_time", "greedy_energy")
+
+    def __post_init__(self) -> None:
+        if self.name not in self.VALID:
+            raise ModelError(
+                f"unknown policy {self.name!r}; choose from {self.VALID}"
+            )
+
+    def choose(
+        self, block: BuildingBlock, server: Server, n_records: int
+    ) -> ComputeDevice:
+        """The device on ``server`` that should run ``block``."""
+        if n_records < 1:
+            raise SchedulingError("need at least one record")
+        if self.name == "cpu_only":
+            return server.cpu
+        candidates = [d for d in server.devices if block.runs_on(d)]
+        if not candidates:
+            raise SchedulingError(
+                f"no device on {server.name} can run {block.name}"
+            )
+
+        def time_of(device: ComputeDevice) -> float:
+            return block.time_s(device, n_records)
+
+        if self.name == "greedy_time":
+            return min(candidates, key=lambda d: (time_of(d), d.name))
+        return min(candidates, key=lambda d: (time_of(d) * d.tdp_w, d.name))
+
+
+def cpu_only() -> OffloadPolicy:
+    """The no-accelerator baseline policy."""
+    return OffloadPolicy("cpu_only")
+
+
+def greedy_time() -> OffloadPolicy:
+    """Minimize wall-clock per operator batch."""
+    return OffloadPolicy("greedy_time")
+
+
+def greedy_energy() -> OffloadPolicy:
+    """Minimize energy per operator batch."""
+    return OffloadPolicy("greedy_energy")

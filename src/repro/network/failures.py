@@ -1,0 +1,142 @@
+"""Fabric failure-resilience analysis.
+
+The disaggregation argument of §IV.A.3 assumes the fabric is dependable
+enough to put memory on the far side of it. This module quantifies that:
+path diversity, tolerance to link/switch failures, and the bandwidth
+degradation profile under progressive failures -- comparing fat-tree and
+leaf-spine designs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.engine.randomness import RandomStream
+from repro.errors import TopologyError
+from repro.network.topology import Fabric
+
+
+def without_links(fabric: Fabric, links: List[Tuple[str, str]]) -> Fabric:
+    """A copy of ``fabric`` with ``links`` removed."""
+    degraded = Fabric(name=f"{fabric.name}-degraded", graph=fabric.graph.copy())
+    for a, b in links:
+        if not degraded.graph.has_edge(a, b):
+            raise TopologyError(f"no link {a}--{b} to fail")
+        degraded.graph.remove_edge(a, b)
+    return degraded
+
+
+def without_switches(fabric: Fabric, switches: List[str]) -> Fabric:
+    """A copy of ``fabric`` with ``switches`` (and their links) removed."""
+    degraded = Fabric(name=f"{fabric.name}-degraded", graph=fabric.graph.copy())
+    for switch in switches:
+        if switch not in degraded.graph:
+            raise TopologyError(f"no node {switch} to fail")
+        if degraded.role(switch) == "host":
+            raise TopologyError(f"{switch} is a host, not a switch")
+        degraded.graph.remove_node(switch)
+    return degraded
+
+
+def hosts_connected(fabric: Fabric) -> bool:
+    """Whether every host can still reach every other host."""
+    hosts = fabric.hosts
+    if len(hosts) < 2:
+        return True
+    components = list(nx.connected_components(fabric.graph))
+    for component in components:
+        if hosts[0] in component:
+            return all(h in component for h in hosts)
+    return False
+
+
+def min_cut_links_between(fabric: Fabric, src: str, dst: str) -> int:
+    """Edge-disjoint path count between two hosts (failure tolerance).
+
+    The fabric survives any ``k-1`` link failures on this pair's routes,
+    where ``k`` is the returned value.
+    """
+    for node in (src, dst):
+        if node not in fabric.graph:
+            raise TopologyError(f"unknown node: {node}")
+    return nx.edge_connectivity(fabric.graph, src, dst)
+
+
+@dataclass
+class DegradationPoint:
+    """One step of a progressive-failure experiment."""
+
+    failures: int
+    connected: bool
+    bisection_gbps: float
+    bisection_fraction: float
+
+
+def progressive_link_failures(
+    fabric: Fabric,
+    n_steps: int,
+    links_per_step: int = 1,
+    seed: int = 13,
+    core_only: bool = True,
+) -> List[DegradationPoint]:
+    """Fail random fabric links step by step; track bisection bandwidth.
+
+    ``core_only`` restricts failures to switch-switch links (host access
+    links failing just detaches that host, which is not the interesting
+    regime).
+    """
+    if n_steps < 1 or links_per_step < 1:
+        raise TopologyError("steps and links per step must be >= 1")
+    rng = RandomStream(seed, "failures")
+    current = Fabric(name=fabric.name, graph=fabric.graph.copy())
+    host_set = set(fabric.hosts)
+    candidates = [
+        tuple(sorted((a, b)))
+        for a, b in current.graph.edges
+        if not core_only or (a not in host_set and b not in host_set)
+    ]
+    candidates = rng.shuffle(sorted(candidates))
+    baseline = fabric.bisection_bandwidth_gbps()
+    points = [DegradationPoint(0, True, baseline, 1.0)]
+    failed = 0
+    for _ in range(n_steps):
+        batch, candidates = candidates[:links_per_step], candidates[links_per_step:]
+        if not batch:
+            break
+        for a, b in batch:
+            if current.graph.has_edge(a, b):
+                current.graph.remove_edge(a, b)
+        failed += len(batch)
+        alive = hosts_connected(current)
+        bisection = (
+            current.bisection_bandwidth_gbps() if alive else 0.0
+        )
+        points.append(
+            DegradationPoint(failed, alive, bisection, bisection / baseline)
+        )
+        if not alive:
+            break
+    return points
+
+
+def single_switch_failure_impact(fabric: Fabric) -> Dict[str, float]:
+    """Worst-case bisection fraction remaining after one switch failure.
+
+    Returns per-role worst case: e.g. losing one spine of four should
+    leave ~75% of bisection on a leaf-spine.
+    """
+    baseline = fabric.bisection_bandwidth_gbps()
+    worst: Dict[str, float] = {}
+    for switch in fabric.switches:
+        role = fabric.role(switch)
+        degraded = without_switches(fabric, [switch])
+        if not hosts_connected(degraded):
+            fraction = 0.0
+        else:
+            fraction = degraded.bisection_bandwidth_gbps() / baseline
+        worst[role] = min(worst.get(role, 1.0), fraction)
+    return worst

@@ -1,0 +1,176 @@
+"""Flow-level bandwidth allocation and transfer-time simulation.
+
+The shuffle and disaggregation experiments need "how long does this set
+of bulk transfers take", not per-packet detail. This module provides:
+
+- :func:`max_min_fair_rates`: progressive-filling max-min fair allocation
+  of concurrent flows over a fabric.
+- :class:`FlowSimulator`: event-driven completion of a static flow set,
+  re-solving rates as flows finish (the standard flow-level DC model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.network.routing import ecmp_path_for_flow, path_links
+from repro.network.topology import Fabric
+
+
+@dataclass
+class Flow:
+    """One bulk transfer.
+
+    ``path`` is filled in by the simulator (ECMP) unless provided.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    start_s: float = 0.0
+    path: Optional[List[str]] = None
+    finish_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise TopologyError(f"flow {self.flow_id}: size must be positive")
+        if self.start_s < 0:
+            raise TopologyError(f"flow {self.flow_id}: negative start")
+
+
+def max_min_fair_rates(
+    fabric: Fabric, flows: List[Flow]
+) -> Dict[int, float]:
+    """Max-min fair rates (bytes/s) via progressive filling.
+
+    Each flow follows its (already-assigned) path; link capacity is the
+    link rate in bytes/s. Classic algorithm: repeatedly find the most
+    constrained link, freeze its flows at the fair share, remove, repeat.
+    """
+    active: Dict[int, Flow] = {}
+    for flow in flows:
+        if flow.path is None:
+            raise TopologyError(f"flow {flow.flow_id}: path not assigned")
+        active[flow.flow_id] = flow
+
+    remaining_capacity: Dict[Tuple[str, str], float] = {}
+    link_flows: Dict[Tuple[str, str], set] = {}
+    for flow in active.values():
+        for link in path_links(flow.path):
+            if link not in remaining_capacity:
+                a, b = link
+                remaining_capacity[link] = fabric.link_rate_gbps(a, b) * 1e9 / 8.0
+                link_flows[link] = set()
+            link_flows[link].add(flow.flow_id)
+
+    rates: Dict[int, float] = {}
+    unfrozen = set(active)
+    while unfrozen:
+        # Fair share each link could give its unfrozen flows.
+        best_link, best_share = None, float("inf")
+        for link, members in link_flows.items():
+            live = members & unfrozen
+            if not live:
+                continue
+            share = remaining_capacity[link] / len(live)
+            if share < best_share:
+                best_link, best_share = link, share
+        if best_link is None:
+            # Flows whose links all vanished (shouldn't happen) get inf.
+            for fid in unfrozen:
+                rates[fid] = float("inf")
+            break
+        # Freeze the bottleneck link's flows at the fair share.
+        for fid in sorted(link_flows[best_link] & unfrozen):
+            rates[fid] = best_share
+            unfrozen.discard(fid)
+            for link in path_links(active[fid].path):
+                remaining_capacity[link] -= best_share
+                # Numerical guard.
+                if remaining_capacity[link] < 0:
+                    remaining_capacity[link] = 0.0
+    return rates
+
+
+@dataclass
+class FlowSimulator:
+    """Completes a flow set under repeatedly re-solved max-min sharing."""
+
+    fabric: Fabric
+    assign_paths: bool = True
+
+    def run(self, flows: List[Flow]) -> List[Flow]:
+        """Simulate all flows to completion; returns them with finish times.
+
+        Events are flow arrivals and completions; between events, rates
+        are constant at the max-min solution for the active set.
+        """
+        if not flows:
+            return []
+        for flow in flows:
+            if self.assign_paths and flow.path is None:
+                flow.path = ecmp_path_for_flow(
+                    self.fabric, flow.src, flow.dst, flow.flow_id
+                )
+            elif flow.path is None:
+                raise TopologyError(
+                    f"flow {flow.flow_id}: no path and path assignment disabled"
+                )
+
+        pending = sorted(flows, key=lambda f: (f.start_s, f.flow_id))
+        remaining: Dict[int, float] = {}
+        active: Dict[int, Flow] = {}
+        now = 0.0
+        next_arrival = 0
+
+        while pending[next_arrival:] or active:
+            # Admit arrivals due now.
+            while next_arrival < len(pending) and (
+                not active or pending[next_arrival].start_s <= now
+            ):
+                flow = pending[next_arrival]
+                if flow.start_s > now:
+                    now = flow.start_s
+                active[flow.flow_id] = flow
+                remaining[flow.flow_id] = flow.size_bytes
+                next_arrival += 1
+
+            rates = max_min_fair_rates(self.fabric, list(active.values()))
+
+            # Time to the next completion at current rates.
+            time_to_finish = min(
+                remaining[fid] / rates[fid] for fid in active
+            )
+            # Time to the next arrival, if any.
+            horizon = time_to_finish
+            if next_arrival < len(pending):
+                horizon = min(
+                    horizon, pending[next_arrival].start_s - now
+                )
+            horizon = max(horizon, 0.0)
+
+            # Advance.
+            for fid in list(active):
+                remaining[fid] -= rates[fid] * horizon
+            now += horizon
+
+            # Retire finished flows (tolerance for float error).
+            for fid in sorted(active):
+                if remaining[fid] <= 1e-6:
+                    active[fid].finish_s = now
+                    del active[fid]
+                    del remaining[fid]
+        return flows
+
+
+def transfer_time_s(
+    fabric: Fabric, src: str, dst: str, size_bytes: float
+) -> float:
+    """Completion time of a single flow on an otherwise idle fabric."""
+    flow = Flow(0, src, dst, size_bytes)
+    FlowSimulator(fabric).run([flow])
+    assert flow.finish_s is not None
+    return flow.finish_s

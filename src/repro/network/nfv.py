@@ -1,0 +1,147 @@
+"""Network function virtualization (§IV.A.2).
+
+NFV "allows for the implementation of security, firewalls, routing
+schemes and other functions separately ... via software allowing for
+increased control, flexibility and scalability". We model service chains
+of network functions and compare two deployments:
+
+- **hardware appliances**: fixed-function boxes, high throughput, weeks
+  of procurement lead time, one function per box;
+- **VNFs on commodity servers**: per-packet CPU cost, elastically
+  scalable in minutes, consolidated onto shared servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class NetworkFunction:
+    """One function in a service chain (firewall, NAT, IDS, LB...).
+
+    ``cycles_per_packet`` is the software cost; ``appliance_gbps`` and
+    ``appliance_usd`` describe the equivalent fixed-function box.
+    """
+
+    name: str
+    cycles_per_packet: float
+    appliance_gbps: float
+    appliance_usd: float
+    appliance_lead_time_days: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_packet <= 0 or self.appliance_gbps <= 0:
+            raise ModelError(f"{self.name}: rates must be positive")
+
+
+#: A representative 2016 middlebox menu.
+FUNCTION_CATALOG: Dict[str, NetworkFunction] = {
+    nf.name: nf
+    for nf in (
+        NetworkFunction("firewall", 2_200.0, 40.0, 30_000.0),
+        NetworkFunction("nat", 1_200.0, 40.0, 18_000.0),
+        NetworkFunction("ids", 9_000.0, 10.0, 55_000.0),
+        NetworkFunction("load-balancer", 1_800.0, 40.0, 25_000.0),
+        NetworkFunction("vpn-gateway", 6_000.0, 10.0, 40_000.0),
+    )
+}
+
+
+@dataclass(frozen=True)
+class VnfHost:
+    """A commodity server running VNFs."""
+
+    cores: int = 16
+    cycles_per_core_per_s: float = 2.4e9
+    price_usd: float = 6_000.0
+    provisioning_time_minutes: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ModelError("VNF host needs at least one core")
+
+    @property
+    def total_cycles_per_s(self) -> float:
+        """Aggregate packet-processing budget of the host."""
+        return self.cores * self.cycles_per_core_per_s
+
+
+@dataclass
+class ServiceChain:
+    """An ordered chain of network functions traffic must traverse."""
+
+    name: str
+    functions: List[NetworkFunction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ModelError(f"chain {self.name}: needs at least one function")
+
+    @property
+    def cycles_per_packet(self) -> float:
+        """Total software cost of one packet across the chain."""
+        return sum(f.cycles_per_packet for f in self.functions)
+
+    # -- VNF deployment ------------------------------------------------------
+
+    def vnf_throughput_gbps(
+        self, host: VnfHost, packet_bytes: float = 800.0
+    ) -> float:
+        """Line rate one host sustains running the whole chain."""
+        if packet_bytes <= 0:
+            raise ModelError("packet size must be positive")
+        pps = host.total_cycles_per_s / self.cycles_per_packet
+        return pps * packet_bytes * 8.0 / 1e9
+
+    def vnf_hosts_needed(
+        self, target_gbps: float, host: VnfHost, packet_bytes: float = 800.0
+    ) -> int:
+        """Hosts required to sustain ``target_gbps`` through the chain."""
+        if target_gbps <= 0:
+            raise ModelError("target rate must be positive")
+        per_host = self.vnf_throughput_gbps(host, packet_bytes)
+        return max(1, -(-int(target_gbps * 1e6) // int(per_host * 1e6)))
+
+    def vnf_capex_usd(
+        self, target_gbps: float, host: VnfHost, packet_bytes: float = 800.0
+    ) -> float:
+        """Hardware cost of the VNF deployment at ``target_gbps``."""
+        return self.vnf_hosts_needed(target_gbps, host, packet_bytes) * host.price_usd
+
+    def vnf_time_to_capacity_minutes(self, host: VnfHost) -> float:
+        """Elastic scale-out time (provision VMs, start VNFs)."""
+        return host.provisioning_time_minutes
+
+    # -- appliance deployment -----------------------------------------------
+
+    def appliance_capex_usd(self, target_gbps: float) -> float:
+        """Cost of fixed-function boxes covering ``target_gbps`` per function."""
+        if target_gbps <= 0:
+            raise ModelError("target rate must be positive")
+        total = 0.0
+        for function in self.functions:
+            boxes = max(
+                1, -(-int(target_gbps * 1e6) // int(function.appliance_gbps * 1e6))
+            )
+            total += boxes * function.appliance_usd
+        return total
+
+    def appliance_time_to_capacity_minutes(self) -> float:
+        """Procurement lead time (the slowest function dominates)."""
+        return max(f.appliance_lead_time_days for f in self.functions) * 24 * 60
+
+
+def standard_dmz_chain() -> ServiceChain:
+    """Firewall -> IDS -> load balancer: the canonical ingress chain."""
+    return ServiceChain(
+        "dmz-ingress",
+        [
+            FUNCTION_CATALOG["firewall"],
+            FUNCTION_CATALOG["ids"],
+            FUNCTION_CATALOG["load-balancer"],
+        ],
+    )

@@ -1,0 +1,73 @@
+"""Routing over fabrics: shortest path and ECMP path sets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.network.topology import Fabric
+
+
+def shortest_path(fabric: Fabric, src: str, dst: str) -> List[str]:
+    """One hop-count shortest path from ``src`` to ``dst``."""
+    _check_endpoints(fabric, src, dst)
+    try:
+        return nx.shortest_path(fabric.graph, src, dst)
+    except nx.NetworkXNoPath as exc:
+        raise TopologyError(f"no path {src} -> {dst}") from exc
+
+
+def ecmp_paths(fabric: Fabric, src: str, dst: str) -> List[List[str]]:
+    """All equal-cost (hop-count) shortest paths, deterministically ordered.
+
+    This is the path set an ECMP hash spreads flows across; fat-trees owe
+    their bisection bandwidth to its size.
+    """
+    _check_endpoints(fabric, src, dst)
+    try:
+        paths = list(nx.all_shortest_paths(fabric.graph, src, dst))
+    except nx.NetworkXNoPath as exc:
+        raise TopologyError(f"no path {src} -> {dst}") from exc
+    return sorted(paths)
+
+
+def ecmp_path_for_flow(
+    fabric: Fabric, src: str, dst: str, flow_id: int
+) -> List[str]:
+    """Deterministic ECMP pick: hash the flow id over the path set."""
+    paths = ecmp_paths(fabric, src, dst)
+    return paths[flow_id % len(paths)]
+
+
+def path_links(path: List[str]) -> List[Tuple[str, str]]:
+    """Canonically-ordered (sorted endpoint) link keys along a path."""
+    if len(path) < 2:
+        raise TopologyError(f"path too short: {path}")
+    return [tuple(sorted((a, b))) for a, b in zip(path, path[1:])]
+
+
+def path_bottleneck_gbps(fabric: Fabric, path: List[str]) -> float:
+    """The minimum link rate along a path."""
+    return min(fabric.link_rate_gbps(a, b) for a, b in zip(path, path[1:]))
+
+
+def hop_count_matrix(fabric: Fabric) -> Dict[Tuple[str, str], int]:
+    """Hop counts between every pair of hosts."""
+    hosts = fabric.hosts
+    lengths = dict(nx.all_pairs_shortest_path_length(fabric.graph))
+    return {
+        (a, b): lengths[a][b]
+        for a in hosts
+        for b in hosts
+        if a < b
+    }
+
+
+def _check_endpoints(fabric: Fabric, src: str, dst: str) -> None:
+    for node in (src, dst):
+        if node not in fabric.graph:
+            raise TopologyError(f"unknown node: {node}")
+    if src == dst:
+        raise TopologyError(f"src equals dst: {src}")

@@ -1,0 +1,218 @@
+"""A 2016-era device catalog.
+
+Parameters approximate public spec sheets from the roadmap's period:
+Intel Xeon E5 v4 (Broadwell), Nvidia K80/P100, Intel/Altera Arria 10
+(the Catapult-class part), a TPU-like inference ASIC, a Keystone-class
+DSP and a TrueNorth-class neuromorphic part. Absolute numbers matter
+less than the *ratios*, which drive every experiment.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.node.device import (
+    ComputeDevice,
+    DeviceKind,
+    DeviceRegistry,
+    Programmability,
+    ProgrammingModel,
+)
+
+
+def xeon_e5() -> ComputeDevice:
+    """Dual-socket Xeon E5-2680 v4 class server CPU (the commodity baseline)."""
+    return ComputeDevice(
+        name="xeon-e5",
+        kind=DeviceKind.CPU,
+        peak_ops_per_s=1.0 * units.TFLOPS,
+        mem_bw_bytes_per_s=120 * units.GB,
+        tdp_w=240.0,
+        idle_w=80.0,
+        price_usd=3_400.0,
+        efficiency=0.85,
+        launch_overhead_s=0.0,
+        programmability=Programmability(
+            native_model=ProgrammingModel.OPENMP,
+            port_effort_person_months=0.5,
+            portable_models=(
+                ProgrammingModel.SEQUENTIAL,
+                ProgrammingModel.SIMD,
+                ProgrammingModel.OPENCL,
+            ),
+            portable_efficiency=0.7,
+        ),
+    )
+
+
+def arm_microserver() -> ComputeDevice:
+    """ARM Cortex-A57-class micro-server / edge CPU (the EUROSERVER part)."""
+    return ComputeDevice(
+        name="arm-microserver",
+        kind=DeviceKind.CPU,
+        peak_ops_per_s=0.1 * units.TFLOPS,
+        mem_bw_bytes_per_s=25 * units.GB,
+        tdp_w=15.0,
+        idle_w=4.0,
+        price_usd=350.0,
+        efficiency=0.8,
+        launch_overhead_s=0.0,
+        programmability=Programmability(
+            native_model=ProgrammingModel.OPENMP,
+            port_effort_person_months=0.5,
+            portable_models=(
+                ProgrammingModel.SEQUENTIAL,
+                ProgrammingModel.SIMD,
+                ProgrammingModel.OPENCL,
+            ),
+            portable_efficiency=0.7,
+        ),
+    )
+
+
+def nvidia_k80() -> ComputeDevice:
+    """Nvidia K80 class GPGPU (the 2016 data-center workhorse)."""
+    return ComputeDevice(
+        name="nvidia-k80",
+        kind=DeviceKind.GPU,
+        peak_ops_per_s=5.6 * units.TFLOPS,
+        mem_bw_bytes_per_s=480 * units.GB,
+        tdp_w=300.0,
+        idle_w=60.0,
+        price_usd=5_000.0,
+        efficiency=0.6,
+        launch_overhead_s=30 * units.US,
+        programmability=Programmability(
+            native_model=ProgrammingModel.CUDA,
+            port_effort_person_months=4.0,
+            portable_models=(ProgrammingModel.OPENCL,),
+            portable_efficiency=0.55,
+            vendor_locked=True,
+        ),
+    )
+
+
+def nvidia_p100() -> ComputeDevice:
+    """Nvidia P100 (Pascal), announced 2016 -- the deep-learning push."""
+    return ComputeDevice(
+        name="nvidia-p100",
+        kind=DeviceKind.GPU,
+        peak_ops_per_s=10.6 * units.TFLOPS,
+        mem_bw_bytes_per_s=720 * units.GB,
+        tdp_w=300.0,
+        idle_w=50.0,
+        price_usd=9_000.0,
+        efficiency=0.65,
+        launch_overhead_s=25 * units.US,
+        programmability=Programmability(
+            native_model=ProgrammingModel.CUDA,
+            port_effort_person_months=4.0,
+            portable_models=(ProgrammingModel.OPENCL,),
+            portable_efficiency=0.55,
+            vendor_locked=True,
+        ),
+    )
+
+
+def arria10_fpga() -> ComputeDevice:
+    """Intel/Altera Arria 10 class FPGA (the Catapult-generation part)."""
+    return ComputeDevice(
+        name="arria10-fpga",
+        kind=DeviceKind.FPGA,
+        peak_ops_per_s=1.4 * units.TFLOPS,
+        mem_bw_bytes_per_s=34 * units.GB,
+        tdp_w=45.0,
+        idle_w=15.0,
+        price_usd=4_500.0,
+        efficiency=0.75,  # pipelined dataflow sustains most of its peak
+        launch_overhead_s=10 * units.US,  # streaming via NIC path, no PCIe hop
+        programmability=Programmability(
+            native_model=ProgrammingModel.HDL,
+            port_effort_person_months=12.0,  # the §IV.C barrier
+            portable_models=(ProgrammingModel.HLS, ProgrammingModel.OPENCL),
+            portable_efficiency=0.5,
+        ),
+    )
+
+
+def inference_asic() -> ComputeDevice:
+    """TPU-class fixed-function inference ASIC (AlphaGo-era)."""
+    return ComputeDevice(
+        name="inference-asic",
+        kind=DeviceKind.ASIC,
+        peak_ops_per_s=45 * units.TFLOPS,  # 8-bit ops
+        mem_bw_bytes_per_s=34 * units.GB,
+        tdp_w=75.0,
+        idle_w=25.0,
+        price_usd=15_000.0,  # low-volume custom silicon
+        efficiency=0.8,
+        launch_overhead_s=20 * units.US,
+        programmability=Programmability(
+            native_model=ProgrammingModel.ASIC_API,
+            port_effort_person_months=6.0,
+            portable_models=(),
+            vendor_locked=True,
+        ),
+    )
+
+
+def keystone_dsp() -> ComputeDevice:
+    """TI Keystone class DSP."""
+    return ComputeDevice(
+        name="keystone-dsp",
+        kind=DeviceKind.DSP,
+        peak_ops_per_s=0.5 * units.TFLOPS,
+        mem_bw_bytes_per_s=13 * units.GB,
+        tdp_w=22.0,
+        idle_w=6.0,
+        price_usd=400.0,
+        efficiency=0.7,
+        launch_overhead_s=15 * units.US,
+        programmability=Programmability(
+            native_model=ProgrammingModel.ASIC_API,
+            port_effort_person_months=5.0,
+            portable_models=(ProgrammingModel.OPENCL,),
+            portable_efficiency=0.45,
+        ),
+    )
+
+
+def truenorth_neuro() -> ComputeDevice:
+    """IBM TrueNorth class neuromorphic chip (R7's disruptive candidate).
+
+    Synaptic ops count as "ops"; the striking figure is ops/joule, not
+    raw throughput.
+    """
+    return ComputeDevice(
+        name="truenorth-neuro",
+        kind=DeviceKind.NEUROMORPHIC,
+        peak_ops_per_s=2.0 * units.TFLOPS,  # synaptic events/s equivalent
+        mem_bw_bytes_per_s=4 * units.GB,
+        tdp_w=0.3,  # famously ~70 mW core power; 0.3 W with I/O
+        idle_w=0.1,
+        price_usd=10_000.0,  # research-grade pricing, no market (R7)
+        efficiency=0.5,
+        launch_overhead_s=50 * units.US,
+        programmability=Programmability(
+            native_model=ProgrammingModel.SPIKE,
+            port_effort_person_months=18.0,  # no ecosystem
+            portable_models=(),
+            vendor_locked=True,
+        ),
+    )
+
+
+def default_registry() -> DeviceRegistry:
+    """All catalog devices in one registry."""
+    registry = DeviceRegistry()
+    for factory in (
+        xeon_e5,
+        arm_microserver,
+        nvidia_k80,
+        nvidia_p100,
+        arria10_fpga,
+        inference_asic,
+        keystone_dsp,
+        truenorth_neuro,
+    ):
+        registry.add(factory())
+    return registry

@@ -1,0 +1,19 @@
+"""Reporting: ASCII tables and the experiment registry."""
+
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    registry,
+)
+from repro.reporting.tables import format_value, render_records, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "format_value",
+    "get_experiment",
+    "registry",
+    "render_records",
+    "render_table",
+]

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for benchmark and experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ModelError
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: floats to 4 significant digits, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """An aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    if not headers:
+        raise ModelError("table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ModelError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [format_value(v) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cell.ljust(width) for cell, width in zip(cells[0], widths)
+    ).rstrip()
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_records(
+    records: List[Dict[str, Any]], columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict records as a table, with optional column selection."""
+    if not records:
+        raise ModelError("no records to render")
+    headers = list(columns) if columns else list(records[0])
+    rows = []
+    for record in records:
+        missing = [h for h in headers if h not in record]
+        if missing:
+            raise ModelError(f"record missing columns: {missing}")
+        rows.append([record[h] for h in headers])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,32 @@
+"""Heterogeneous task scheduling (Recommendation 11)."""
+
+from repro.scheduler.hetero import (
+    Assignment,
+    Executor,
+    HeterogeneousScheduler,
+    Schedule,
+    executors_from_cluster,
+)
+from repro.scheduler.online import (
+    OnlineJob,
+    OnlineOutcome,
+    OnlineScheduler,
+    poisson_job_stream,
+)
+from repro.scheduler.task import Job, Task, chain_job, fork_join_job
+
+__all__ = [
+    "Assignment",
+    "Executor",
+    "HeterogeneousScheduler",
+    "Job",
+    "OnlineJob",
+    "OnlineOutcome",
+    "OnlineScheduler",
+    "Schedule",
+    "Task",
+    "chain_job",
+    "executors_from_cluster",
+    "fork_join_job",
+    "poisson_job_stream",
+]

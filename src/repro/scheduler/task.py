@@ -1,0 +1,150 @@
+"""Task and job models for heterogeneous scheduling (Recommendation 11).
+
+A :class:`Job` is a DAG of :class:`Task` nodes. Each task names the
+building block it executes and its batch size; its runtime on any device
+comes from the block's roofline cost, so the scheduler sees the *same*
+heterogeneity the rest of the library models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analytics.blocks import BlockRegistry, BuildingBlock
+from repro.errors import SchedulingError
+from repro.node.device import ComputeDevice
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    ``deps`` are task ids that must finish first; ``output_bytes`` is the
+    data shipped to each dependent (charged when producer and consumer
+    land on different hosts).
+    """
+
+    task_id: str
+    block: str
+    n_records: int
+    deps: List[str] = field(default_factory=list)
+    output_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1:
+            raise SchedulingError(f"task {self.task_id}: needs records")
+        if self.output_bytes < 0:
+            raise SchedulingError(f"task {self.task_id}: negative output")
+        if self.task_id in self.deps:
+            raise SchedulingError(f"task {self.task_id}: depends on itself")
+
+
+@dataclass
+class Job:
+    """A named DAG of tasks."""
+
+    name: str
+    tasks: Dict[str, Task] = field(default_factory=dict)
+
+    def add(self, task: Task) -> None:
+        """Add a task; ids must be unique and deps known at validation."""
+        if task.task_id in self.tasks:
+            raise SchedulingError(f"duplicate task id: {task.task_id}")
+        self.tasks[task.task_id] = task
+
+    def validate(self) -> None:
+        """Check dependency closure and acyclicity."""
+        if not self.tasks:
+            raise SchedulingError(f"job {self.name}: no tasks")
+        for task in self.tasks.values():
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise SchedulingError(
+                        f"task {task.task_id}: unknown dependency {dep!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[str]:
+        """Deterministic topological order (Kahn's, lexicographic ties)."""
+        in_degree = {tid: len(t.deps) for tid, t in self.tasks.items()}
+        dependents: Dict[str, List[str]] = {tid: [] for tid in self.tasks}
+        for task in self.tasks.values():
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+        ready = sorted(tid for tid, deg in in_degree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            inserted = []
+            for succ in dependents[current]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    inserted.append(succ)
+            if inserted:
+                ready = sorted(ready + inserted)
+        if len(order) != len(self.tasks):
+            raise SchedulingError(f"job {self.name}: dependency cycle")
+        return order
+
+    def successors(self) -> Dict[str, List[str]]:
+        """task id -> dependent task ids."""
+        out: Dict[str, List[str]] = {tid: [] for tid in self.tasks}
+        for task in self.tasks.values():
+            for dep in task.deps:
+                out[dep].append(task.task_id)
+        return out
+
+
+def chain_job(
+    name: str, blocks: List[str], n_records: int, output_bytes: float = 1e6
+) -> Job:
+    """A linear pipeline job: block[0] -> block[1] -> ..."""
+    if not blocks:
+        raise SchedulingError("need at least one block")
+    job = Job(name)
+    previous: Optional[str] = None
+    for index, block in enumerate(blocks):
+        tid = f"{name}-{index}"
+        deps = [previous] if previous else []
+        job.add(Task(tid, block, n_records, deps=deps, output_bytes=output_bytes))
+        previous = tid
+    job.validate()
+    return job
+
+
+def fork_join_job(
+    name: str,
+    fan_out: int,
+    branch_block: str,
+    join_block: str,
+    n_records: int,
+    output_bytes: float = 1e6,
+) -> Job:
+    """A map-reduce-shaped DAG: source -> N branches -> join."""
+    if fan_out < 1:
+        raise SchedulingError("fan-out must be >= 1")
+    job = Job(name)
+    job.add(Task(f"{name}-src", "filter-scan", n_records,
+                 output_bytes=output_bytes))
+    for i in range(fan_out):
+        job.add(
+            Task(
+                f"{name}-branch{i}",
+                branch_block,
+                max(1, n_records // fan_out),
+                deps=[f"{name}-src"],
+                output_bytes=output_bytes,
+            )
+        )
+    job.add(
+        Task(
+            f"{name}-join",
+            join_block,
+            n_records,
+            deps=[f"{name}-branch{i}" for i in range(fan_out)],
+        )
+    )
+    job.validate()
+    return job

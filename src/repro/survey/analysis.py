@@ -1,0 +1,175 @@
+"""Aggregate analysis of the interview corpus: the four Key Findings.
+
+§V.A's findings become testable propositions over corpus statistics.
+Each ``finding_*`` function returns a :class:`Finding` with the
+supporting numbers and a boolean ``holds`` computed against the paper's
+qualitative threshold ("majority", "almost all", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ModelError
+from repro.survey.stakeholder import (
+    CompanyRole,
+    Corpus,
+    Sector,
+    THEME_BOTTLENECK_AWARE,
+    THEME_HW_SW_DISCONNECT,
+    THEME_NO_HW_ROADMAP,
+    THEME_ROI_SKEPTICISM,
+    THEME_VALUE_FOCUS,
+    THEME_WAIT_FOR_COMMODITY,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One key finding with its supporting statistics."""
+
+    finding_id: int
+    statement: str
+    statistics: Dict[str, float]
+    holds: bool
+
+
+def theme_fraction(corpus: Corpus, theme: str) -> float:
+    """Fraction of interviews expressing ``theme``."""
+    if not corpus.interviews:
+        raise ModelError("empty corpus")
+    hits = sum(1 for i in corpus.interviews if i.expresses(theme))
+    return hits / len(corpus.interviews)
+
+
+def sector_mix(corpus: Corpus) -> Dict[str, int]:
+    """Company counts per sector."""
+    mix: Dict[str, int] = {}
+    for company in corpus.companies:
+        mix[company.sector.value] = mix.get(company.sector.value, 0) + 1
+    return mix
+
+
+def cross_tab(corpus: Corpus, theme: str) -> Dict[str, float]:
+    """Per-role fraction of interviews expressing ``theme``."""
+    totals: Dict[str, int] = {}
+    hits: Dict[str, int] = {}
+    for interview in corpus.interviews:
+        role = corpus.company(interview.company_id).role.value
+        totals[role] = totals.get(role, 0) + 1
+        if interview.expresses(theme):
+            hits[role] = hits.get(role, 0) + 1
+    return {
+        role: hits.get(role, 0) / count for role, count in totals.items()
+    }
+
+
+def finding_1_value_focus(corpus: Corpus) -> Finding:
+    """Industry focuses on value extraction, not processing bottlenecks."""
+    value = theme_fraction(corpus, THEME_VALUE_FOCUS)
+    bottleneck = theme_fraction(corpus, THEME_BOTTLENECK_AWARE)
+    return Finding(
+        finding_id=1,
+        statement=(
+            "Industry is focused on extracting value from data, not on "
+            "processing bottlenecks or the underlying hardware"
+        ),
+        statistics={
+            "value_focus_fraction": value,
+            "bottleneck_aware_fraction": bottleneck,
+        },
+        holds=value > 0.5 and bottleneck < value,
+    )
+
+
+def finding_2_roi_skepticism(corpus: Corpus) -> Finding:
+    """European companies are not convinced of novel-hardware ROI."""
+    skepticism = theme_fraction(corpus, THEME_ROI_SKEPTICISM)
+    commodity = theme_fraction(corpus, THEME_WAIT_FOR_COMMODITY)
+    return Finding(
+        finding_id=2,
+        statement=(
+            "European companies are not convinced of the return on "
+            "investment of using novel hardware"
+        ),
+        statistics={
+            "roi_skeptic_fraction": skepticism,
+            "wait_for_commodity_fraction": commodity,
+        },
+        holds=skepticism > 0.5,
+    )
+
+
+def finding_3_disconnect(corpus: Corpus) -> Finding:
+    """Hardware and software communities are disconnected in Europe.
+
+    Evidence: almost no analytics vendor has a hardware roadmap, while
+    most technology providers do.
+    """
+    analytics = [
+        c for c in corpus.companies if c.role == CompanyRole.ANALYTICS_VENDOR
+    ]
+    providers = [
+        c
+        for c in corpus.companies
+        if c.role == CompanyRole.TECHNOLOGY_PROVIDER
+    ]
+    if not analytics or not providers:
+        raise ModelError("corpus lacks analytics vendors or providers")
+    analytics_with = sum(c.has_hardware_roadmap for c in analytics) / len(
+        analytics
+    )
+    providers_with = sum(c.has_hardware_roadmap for c in providers) / len(
+        providers
+    )
+    disconnect = theme_fraction(corpus, THEME_HW_SW_DISCONNECT)
+    return Finding(
+        finding_id=3,
+        statement=(
+            "Europe has limited opportunities for hardware and software "
+            "architects to work together"
+        ),
+        statistics={
+            "analytics_with_hw_roadmap": analytics_with,
+            "providers_with_hw_roadmap": providers_with,
+            "disconnect_theme_fraction": disconnect,
+        },
+        holds=analytics_with < 0.15 and providers_with > 0.5,
+    )
+
+
+def finding_4_no_roadmap(corpus: Corpus) -> Finding:
+    """Almost all analytics companies have no hardware roadmap."""
+    no_roadmap = theme_fraction(corpus, THEME_NO_HW_ROADMAP)
+    per_role = cross_tab(corpus, THEME_NO_HW_ROADMAP)
+    return Finding(
+        finding_id=4,
+        statement=(
+            "The dominance of non-European server vendors plus the absence "
+            "of hardware roadmaps leaves Europe exposed"
+        ),
+        statistics={
+            "no_roadmap_fraction": no_roadmap,
+            **{f"no_roadmap_{k}": v for k, v in per_role.items()},
+        },
+        holds=per_role.get("analytics_vendor", 0.0) > 0.6,
+    )
+
+
+def key_findings(corpus: Corpus) -> List[Finding]:
+    """All four findings, in paper order."""
+    return [
+        finding_1_value_focus(corpus),
+        finding_2_roi_skepticism(corpus),
+        finding_3_disconnect(corpus),
+        finding_4_no_roadmap(corpus),
+    ]
+
+
+def headline_counts(corpus: Corpus) -> Dict[str, int]:
+    """The abstract's numbers: interviews and distinct companies."""
+    return {
+        "n_interviews": corpus.n_interviews,
+        "n_companies": corpus.n_companies,
+    }

@@ -1,0 +1,197 @@
+"""Synthetic interview-corpus generator, calibrated to the paper.
+
+The paper reports aggregates, not transcripts; this generator produces a
+corpus whose aggregates reproduce them:
+
+- 89 interviews across 70 distinct companies (some interviewed twice);
+- the named sector mix (telecom and hardware prominent, strong health /
+  automotive / financial / analytics representation);
+- Finding 1: most companies focus on extracting value, not bottlenecks;
+- Finding 2: most are unconvinced of novel-hardware ROI (price
+  sensitivity, wait-for-commodity);
+- Finding 3: hardware/software disconnect -- "almost all analytics
+  companies ... have no hardware roadmap";
+- Finding 4: technology providers are the minority who do track hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.randomness import RandomStream
+from repro.errors import ModelError
+from repro.survey.stakeholder import (
+    ALL_THEMES,
+    Company,
+    CompanyRole,
+    CompanySize,
+    Corpus,
+    Interview,
+    Sector,
+    THEME_ACCELERATOR_USER,
+    THEME_BOTTLENECK_AWARE,
+    THEME_HW_SW_DISCONNECT,
+    THEME_LOCK_IN_FEAR,
+    THEME_NO_HW_ROADMAP,
+    THEME_PRICE_SENSITIVE,
+    THEME_ROI_SKEPTICISM,
+    THEME_VALUE_FOCUS,
+    THEME_WAIT_FOR_COMMODITY,
+    THEME_WANTS_BENCHMARKS,
+)
+
+#: Sector weights reflecting the paper's description of the sample.
+SECTOR_WEIGHTS: Dict[Sector, float] = {
+    Sector.TELECOM: 0.20,
+    Sector.HARDWARE: 0.17,
+    Sector.ANALYTICS: 0.23,
+    Sector.FINANCIAL: 0.15,
+    Sector.HEALTH: 0.13,
+    Sector.AUTOMOTIVE: 0.12,
+}
+
+#: Role mix per sector: hardware firms are technology providers; the
+#: rest split between analytics vendors and end users.
+_ROLE_BY_SECTOR: Dict[Sector, Dict[CompanyRole, float]] = {
+    Sector.HARDWARE: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.9,
+        CompanyRole.ANALYTICS_VENDOR: 0.05,
+        CompanyRole.END_USER: 0.05,
+    },
+    Sector.TELECOM: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.35,
+        CompanyRole.ANALYTICS_VENDOR: 0.15,
+        CompanyRole.END_USER: 0.5,
+    },
+    Sector.ANALYTICS: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.05,
+        CompanyRole.ANALYTICS_VENDOR: 0.8,
+        CompanyRole.END_USER: 0.15,
+    },
+    Sector.FINANCIAL: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.05,
+        CompanyRole.ANALYTICS_VENDOR: 0.2,
+        CompanyRole.END_USER: 0.75,
+    },
+    Sector.HEALTH: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.05,
+        CompanyRole.ANALYTICS_VENDOR: 0.25,
+        CompanyRole.END_USER: 0.7,
+    },
+    Sector.AUTOMOTIVE: {
+        CompanyRole.TECHNOLOGY_PROVIDER: 0.15,
+        CompanyRole.ANALYTICS_VENDOR: 0.15,
+        CompanyRole.END_USER: 0.7,
+    },
+}
+
+
+def _hardware_roadmap_probability(role: CompanyRole, sector: Sector) -> float:
+    """Probability a company tracks hardware (Finding 3 calibration)."""
+    if role == CompanyRole.TECHNOLOGY_PROVIDER:
+        return 0.85
+    if role == CompanyRole.ANALYTICS_VENDOR:
+        return 0.04  # "almost all analytics companies ... no hardware roadmap"
+    if sector == Sector.FINANCIAL:
+        return 0.25  # FPGAs "most prominent in financial and oil industries"
+    return 0.10
+
+
+def generate_corpus(
+    n_interviews: int = 89,
+    n_companies: int = 70,
+    seed: int = 619788,  # the project's EC grant number
+) -> Corpus:
+    """Generate the calibrated corpus.
+
+    Deterministic given ``seed``. Interview count must be at least the
+    company count (every company is interviewed at least once; the
+    surplus interviews revisit companies, as the real project did).
+    """
+    if n_companies < 1:
+        raise ModelError("need at least one company")
+    if n_interviews < n_companies:
+        raise ModelError("need at least one interview per company")
+    rng = RandomStream(seed, "corpus")
+    sectors = list(SECTOR_WEIGHTS)
+    weights = [SECTOR_WEIGHTS[s] for s in sectors]
+
+    companies = []
+    for index in range(n_companies):
+        sector = rng.choice(sectors, p=weights)
+        roles = list(_ROLE_BY_SECTOR[sector])
+        role = rng.choice(roles, p=[_ROLE_BY_SECTOR[sector][r] for r in roles])
+        size = CompanySize.SME if rng.uniform() < 0.6 else CompanySize.LARGE
+        companies.append(
+            Company(
+                company_id=f"company{index:03d}",
+                sector=sector,
+                size=size,
+                role=role,
+                has_hardware_roadmap=(
+                    rng.uniform() < _hardware_roadmap_probability(role, sector)
+                ),
+                data_volume_tb=rng.lognormal(50.0, 1.5),
+            )
+        )
+
+    # Assign interviews: everyone once, the surplus to random companies.
+    assignments = list(range(n_companies))
+    for _ in range(n_interviews - n_companies):
+        assignments.append(rng.integer(0, n_companies))
+    assignments = rng.shuffle(assignments)
+
+    interviews = []
+    for index, company_index in enumerate(assignments):
+        company = companies[company_index]
+        interviews.append(
+            Interview(
+                interview_id=f"interview{index:03d}",
+                company_id=company.company_id,
+                themes=tuple(_draw_themes(company, rng)),
+            )
+        )
+    corpus = Corpus(companies=companies, interviews=interviews)
+    corpus.validate()
+    return corpus
+
+
+def _draw_themes(company: Company, rng: RandomStream) -> list:
+    """Sample the themes one interview with ``company`` expresses."""
+    themes = []
+
+    def maybe(theme: str, probability: float) -> None:
+        if rng.uniform() < probability:
+            themes.append(theme)
+
+    is_provider = company.role == CompanyRole.TECHNOLOGY_PROVIDER
+    # Finding 1: value focus dominates; bottleneck awareness is rare and
+    # concentrated in technology providers / data-heavy firms.
+    maybe(THEME_VALUE_FOCUS, 0.25 if is_provider else 0.85)
+    maybe(
+        THEME_BOTTLENECK_AWARE,
+        0.6 if is_provider else (0.25 if company.data_volume_tb > 500 else 0.08),
+    )
+    # Finding 2: ROI skepticism and commodity-waiting.
+    maybe(THEME_ROI_SKEPTICISM, 0.3 if is_provider else 0.75)
+    maybe(THEME_WAIT_FOR_COMMODITY, 0.25 if is_provider else 0.7)
+    maybe(
+        THEME_PRICE_SENSITIVE,
+        0.75 if company.size == CompanySize.SME else 0.35,
+    )
+    # Finding 3: the disconnect, felt on both sides.
+    maybe(THEME_HW_SW_DISCONNECT, 0.55 if is_provider else 0.45)
+    if not company.has_hardware_roadmap:
+        maybe(THEME_NO_HW_ROADMAP, 0.95)
+    # Finding 4 / R4-R9 inputs.
+    maybe(THEME_LOCK_IN_FEAR, 0.5 if is_provider else 0.3)
+    maybe(THEME_WANTS_BENCHMARKS, 0.55)
+    maybe(
+        THEME_ACCELERATOR_USER,
+        0.45
+        if company.sector == Sector.FINANCIAL and is_provider is False
+        else (0.35 if is_provider else 0.05),
+    )
+    if not themes:
+        themes.append(THEME_VALUE_FOCUS)  # every interview says something
+    return themes

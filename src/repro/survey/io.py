@@ -1,0 +1,100 @@
+"""Corpus serialization: JSON export/import.
+
+Recommendation 8 asks Europe to share anonymized data from EC-funded
+projects; practicing what the roadmap preaches, a corpus round-trips
+through plain JSON so downstream users can publish and reload calibrated
+survey datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ModelError
+from repro.survey.stakeholder import (
+    Company,
+    CompanyRole,
+    CompanySize,
+    Corpus,
+    Interview,
+    Sector,
+)
+
+#: Format marker for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def corpus_to_dict(corpus: Corpus) -> dict:
+    """A JSON-serializable representation of ``corpus``."""
+    corpus.validate()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "companies": [
+            {
+                "company_id": c.company_id,
+                "sector": c.sector.value,
+                "size": c.size.value,
+                "role": c.role.value,
+                "has_hardware_roadmap": c.has_hardware_roadmap,
+                "data_volume_tb": c.data_volume_tb,
+            }
+            for c in corpus.companies
+        ],
+        "interviews": [
+            {
+                "interview_id": i.interview_id,
+                "company_id": i.company_id,
+                "themes": list(i.themes),
+            }
+            for i in corpus.interviews
+        ],
+    }
+
+
+def corpus_from_dict(payload: dict) -> Corpus:
+    """Rebuild a corpus from :func:`corpus_to_dict` output."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ModelError(f"unsupported corpus schema version: {version!r}")
+    try:
+        companies = [
+            Company(
+                company_id=c["company_id"],
+                sector=Sector(c["sector"]),
+                size=CompanySize(c["size"]),
+                role=CompanyRole(c["role"]),
+                has_hardware_roadmap=bool(c["has_hardware_roadmap"]),
+                data_volume_tb=float(c["data_volume_tb"]),
+            )
+            for c in payload["companies"]
+        ]
+        interviews = [
+            Interview(
+                interview_id=i["interview_id"],
+                company_id=i["company_id"],
+                themes=tuple(i["themes"]),
+            )
+            for i in payload["interviews"]
+        ]
+    except (KeyError, ValueError) as exc:
+        raise ModelError(f"malformed corpus payload: {exc}") from exc
+    corpus = Corpus(companies=companies, interviews=interviews)
+    corpus.validate()
+    return corpus
+
+
+def save_corpus(corpus: Corpus, path: Union[str, Path]) -> None:
+    """Write a corpus to a JSON file."""
+    Path(path).write_text(
+        json.dumps(corpus_to_dict(corpus), indent=2, sort_keys=True)
+    )
+
+
+def load_corpus(path: Union[str, Path]) -> Corpus:
+    """Read a corpus from a JSON file."""
+    target = Path(path)
+    if not target.exists():
+        raise ModelError(f"no corpus file at {target}")
+    return corpus_from_dict(json.loads(target.read_text()))

@@ -1,0 +1,71 @@
+"""Workload generators and the benchmark suite (Recommendation 9).
+
+Seeded synthetic data (Zipf text, clickstreams, relational tables,
+sensor/science streams, web graphs), the five-workload standard suite,
+the Catapult-style search service (E2) and the HPC/Big Data convergence
+trigger pipeline (E14).
+"""
+
+from repro.workloads.edge import (
+    EdgeScenario,
+    PlacementReport,
+    WanLink,
+    best_placement,
+    evaluate_placements,
+)
+from repro.workloads.generator import (
+    clickstream,
+    gaussian_blobs,
+    sales_table,
+    science_events,
+    sensor_readings,
+    web_graph,
+    zipf_documents,
+)
+from repro.workloads.search import (
+    SearchRunResult,
+    SearchServiceConfig,
+    max_qps_within_sla,
+    run_search_service,
+    tail_latency_reduction,
+)
+from repro.workloads.streams import (
+    TriggerReport,
+    convergence_comparison,
+    run_trigger_pipeline,
+)
+from repro.workloads.suite import (
+    BenchmarkDefinition,
+    BenchmarkScore,
+    compare_architectures,
+    run_suite,
+    standard_suite,
+)
+
+__all__ = [
+    "BenchmarkDefinition",
+    "BenchmarkScore",
+    "EdgeScenario",
+    "PlacementReport",
+    "SearchRunResult",
+    "SearchServiceConfig",
+    "TriggerReport",
+    "WanLink",
+    "best_placement",
+    "clickstream",
+    "compare_architectures",
+    "convergence_comparison",
+    "evaluate_placements",
+    "gaussian_blobs",
+    "max_qps_within_sla",
+    "run_search_service",
+    "run_suite",
+    "run_trigger_pipeline",
+    "sales_table",
+    "science_events",
+    "sensor_readings",
+    "standard_suite",
+    "tail_latency_reduction",
+    "web_graph",
+    "zipf_documents",
+]

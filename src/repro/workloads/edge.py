@@ -1,0 +1,153 @@
+"""Edge vs data-center placement (R11's "edge computing and cloud
+computing environments calling for heterogeneous hardware platforms").
+
+§III frames IoT as "enabled by and dependent on the tremendous data
+collections and compute capacities in the back-end machines"; R11 adds
+edge heterogeneity. This module models the canonical trade: process a
+sensor stream *at the edge* (weak device, no WAN cost) or *in the data
+center* (strong devices, WAN transfer and latency), or *split* (filter at
+the edge, aggregate centrally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analytics.blocks import BlockRegistry, default_blocks
+from repro.errors import ModelError
+from repro.node.device import ComputeDevice
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """The constrained edge-to-datacenter uplink."""
+
+    rate_mbps: float = 50.0
+    rtt_s: float = 0.03
+    usd_per_gb: float = 0.08  # metered backhaul
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps <= 0 or self.rtt_s < 0 or self.usd_per_gb < 0:
+            raise ModelError("invalid WAN parameters")
+
+    def transfer_time_s(self, size_bytes: float) -> float:
+        """Serialization plus one propagation delay."""
+        if size_bytes < 0:
+            raise ModelError("negative transfer size")
+        return size_bytes * 8.0 / (self.rate_mbps * 1e6) + self.rtt_s
+
+    def transfer_cost_usd(self, size_bytes: float) -> float:
+        """Metered backhaul cost."""
+        return size_bytes / 1e9 * self.usd_per_gb
+
+
+@dataclass(frozen=True)
+class EdgeScenario:
+    """One placement decision's inputs.
+
+    ``n_events`` events of ``event_bytes`` arrive at the edge per batch;
+    the filter stage passes ``selectivity`` of them; the aggregate stage
+    runs on whatever survives.
+    """
+
+    n_events: int
+    event_bytes: float
+    selectivity: float
+    filter_block: str = "filter-scan"
+    aggregate_block: str = "hash-aggregate"
+
+    def __post_init__(self) -> None:
+        if self.n_events < 1:
+            raise ModelError("need at least one event")
+        if self.event_bytes <= 0:
+            raise ModelError("event size must be positive")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ModelError("selectivity must be in (0, 1]")
+
+
+@dataclass
+class PlacementReport:
+    """Latency and cost of one placement strategy."""
+
+    strategy: str
+    latency_s: float
+    wan_bytes: float
+    wan_cost_usd: float
+    energy_j: float
+
+
+def evaluate_placements(
+    scenario: EdgeScenario,
+    edge_device: ComputeDevice,
+    dc_device: ComputeDevice,
+    wan: WanLink = WanLink(),
+    blocks: BlockRegistry = None,
+) -> Dict[str, PlacementReport]:
+    """Latency/cost of edge-only, dc-only, and split placements."""
+    registry = blocks or default_blocks()
+    filter_block = registry.get(scenario.filter_block)
+    aggregate_block = registry.get(scenario.aggregate_block)
+    n = scenario.n_events
+    survivors = max(1, int(n * scenario.selectivity))
+    raw_bytes = n * scenario.event_bytes
+    filtered_bytes = survivors * scenario.event_bytes
+
+    reports: Dict[str, PlacementReport] = {}
+
+    # Edge-only: both stages on the weak device, nothing crosses the WAN
+    # except the final aggregate (negligible, ignored).
+    edge_time = filter_block.time_s(edge_device, n) + aggregate_block.time_s(
+        edge_device, survivors
+    )
+    reports["edge-only"] = PlacementReport(
+        strategy="edge-only",
+        latency_s=edge_time,
+        wan_bytes=0.0,
+        wan_cost_usd=0.0,
+        energy_j=edge_time * edge_device.tdp_w,
+    )
+
+    # DC-only: ship everything, process on the strong device.
+    dc_compute = filter_block.time_s(dc_device, n) + aggregate_block.time_s(
+        dc_device, survivors
+    )
+    reports["dc-only"] = PlacementReport(
+        strategy="dc-only",
+        latency_s=wan.transfer_time_s(raw_bytes) + dc_compute,
+        wan_bytes=raw_bytes,
+        wan_cost_usd=wan.transfer_cost_usd(raw_bytes),
+        energy_j=dc_compute * dc_device.tdp_w,
+    )
+
+    # Split: filter at the edge, ship survivors, aggregate in the DC.
+    split_edge = filter_block.time_s(edge_device, n)
+    split_dc = aggregate_block.time_s(dc_device, survivors)
+    reports["split"] = PlacementReport(
+        strategy="split",
+        latency_s=split_edge + wan.transfer_time_s(filtered_bytes) + split_dc,
+        wan_bytes=filtered_bytes,
+        wan_cost_usd=wan.transfer_cost_usd(filtered_bytes),
+        energy_j=split_edge * edge_device.tdp_w + split_dc * dc_device.tdp_w,
+    )
+    return reports
+
+
+def best_placement(
+    scenario: EdgeScenario,
+    edge_device: ComputeDevice,
+    dc_device: ComputeDevice,
+    wan: WanLink = WanLink(),
+    objective: str = "latency",
+) -> PlacementReport:
+    """The winning strategy under ``objective`` in {latency, wan_cost}."""
+    if objective not in ("latency", "wan_cost"):
+        raise ModelError(f"unknown objective: {objective!r}")
+    reports = evaluate_placements(scenario, edge_device, dc_device, wan)
+
+    def score(report: PlacementReport) -> float:
+        if objective == "latency":
+            return report.latency_s
+        return report.wan_cost_usd
+
+    return min(reports.values(), key=lambda r: (score(r), r.strategy))

@@ -1,0 +1,123 @@
+"""Tests for ML kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    kmeans,
+    knn_classify,
+    linear_regression,
+    logistic_predict,
+    logistic_regression,
+)
+from repro.errors import ModelError
+
+
+def _blobs(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([0, 0], 0.3, size=(n, 2))
+    b = rng.normal([5, 5], 0.3, size=(n, 2))
+    c = rng.normal([0, 5], 0.3, size=(n, 2))
+    return np.vstack([a, b, c])
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self):
+        points = _blobs()
+        result = kmeans(points, k=3, seed=1)
+        centers = sorted(result.centroids.round(0).tolist())
+        assert centers == [[0.0, 0.0], [0.0, 5.0], [5.0, 5.0]]
+
+    def test_labels_partition_points(self):
+        points = _blobs()
+        result = kmeans(points, k=3, seed=1)
+        assert set(result.labels) == {0, 1, 2}
+        assert len(result.labels) == len(points)
+
+    def test_inertia_decreases_with_k(self):
+        points = _blobs()
+        inertia_1 = kmeans(points, k=1, seed=1).inertia
+        inertia_3 = kmeans(points, k=3, seed=1).inertia
+        assert inertia_3 < inertia_1 / 10
+
+    def test_deterministic(self):
+        points = _blobs()
+        a = kmeans(points, k=3, seed=5)
+        b = kmeans(points, k=3, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_equals_n(self):
+        points = _blobs(n=2)  # 6 points total
+        result = kmeans(points, k=6, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            kmeans(np.zeros(5), k=2)
+        with pytest.raises(ModelError):
+            kmeans(np.zeros((5, 2)), k=0)
+        with pytest.raises(ModelError):
+            kmeans(np.zeros((5, 2)), k=6)
+
+
+class TestLogisticRegression:
+    def test_separates_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        weights = logistic_regression(x, y, learning_rate=0.5, epochs=500)
+        preds = logistic_predict(x, weights)
+        accuracy = (preds == y).mean()
+        assert accuracy > 0.95
+
+    def test_l2_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        plain = logistic_regression(x, y, epochs=300)
+        ridged = logistic_regression(x, y, epochs=300, l2=1.0)
+        assert np.linalg.norm(ridged[:-1]) < np.linalg.norm(plain[:-1])
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ModelError):
+            logistic_regression(np.zeros((3, 1)), np.array([0.0, 1.0, 2.0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ModelError):
+            logistic_regression(np.zeros((3, 1)), np.array([0.0, 1.0]))
+
+
+class TestLinearRegression:
+    def test_exact_fit(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 3.0 * x[:, 0] + 2.0
+        weights = linear_regression(x, y)
+        assert weights[0] == pytest.approx(3.0)
+        assert weights[1] == pytest.approx(2.0)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            linear_regression(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestKnn:
+    def test_classifies_blobs(self):
+        rng = np.random.default_rng(2)
+        train = np.vstack(
+            [rng.normal([0, 0], 0.2, (30, 2)), rng.normal([4, 4], 0.2, (30, 2))]
+        )
+        labels = np.array([0] * 30 + [1] * 30)
+        queries = np.array([[0.1, -0.1], [3.9, 4.2]])
+        assert knn_classify(train, labels, queries, k=5).tolist() == [0, 1]
+
+    def test_k_one_memorizes(self):
+        train = np.array([[0.0], [1.0], [2.0]])
+        labels = np.array(["a", "b", "c"])
+        out = knn_classify(train, labels, train, k=1)
+        assert out.tolist() == ["a", "b", "c"]
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ModelError):
+            knn_classify(np.zeros((3, 1)), np.zeros(3), np.zeros((1, 1)), k=0)
+        with pytest.raises(ModelError):
+            knn_classify(np.zeros((3, 1)), np.zeros(3), np.zeros((1, 1)), k=4)

@@ -1,0 +1,155 @@
+"""Tests for NLP and relational kernels."""
+
+import pytest
+
+from repro.analytics import (
+    cosine_similarity,
+    extract_pattern,
+    group_aggregate,
+    hash_join,
+    inverse_document_frequencies,
+    limit,
+    ngrams,
+    order_by,
+    project,
+    select,
+    term_frequencies,
+    tfidf_vectors,
+    tokenize,
+    top_terms,
+    word_counts,
+)
+from repro.errors import ModelError
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Big Data, Big Deal!") == ["big", "data", "big", "deal"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert tokenize("it's 400GbE") == ["it's", "400gbe"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestWordCounts:
+    def test_counts_across_documents(self):
+        counts = word_counts(["a b a", "b c"])
+        assert counts == {"a": 2, "b": 2, "c": 1}
+
+    def test_top_terms_ordering(self):
+        counts = {"x": 3, "a": 3, "z": 1}
+        assert top_terms(counts, 2) == [("a", 3), ("x", 3)]
+
+    def test_top_terms_negative_k(self):
+        with pytest.raises(ModelError):
+            top_terms({}, -1)
+
+
+class TestTfIdf:
+    def test_term_frequencies_normalized(self):
+        tf = term_frequencies("a a b")
+        assert tf == {"a": pytest.approx(2 / 3), "b": pytest.approx(1 / 3)}
+
+    def test_rare_terms_get_higher_idf(self):
+        idf = inverse_document_frequencies(["a b", "a c", "a d"])
+        assert idf["b"] > idf["a"]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            inverse_document_frequencies([])
+
+    def test_tfidf_distinguishes_topics(self):
+        docs = ["gpu gpu cuda", "fpga hdl verilog", "gpu fpga"]
+        vectors = tfidf_vectors(docs)
+        assert cosine_similarity(vectors[0], vectors[1]) < 0.1
+        assert cosine_similarity(vectors[0], vectors[2]) > 0.1
+
+    def test_cosine_empty_is_zero(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+
+class TestExtraction:
+    def test_extracts_matches_with_doc_index(self):
+        texts = ["order #123 ok", "nothing", "orders #7 #8"]
+        out = extract_pattern(texts, r"#\d+")
+        assert out == [(0, "#123"), (2, "#7"), (2, "#8")]
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ModelError):
+            extract_pattern(["x"], "(unclosed")
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+        assert ngrams(["a"], 2) == []
+        with pytest.raises(ModelError):
+            ngrams(["a"], 0)
+
+
+ROWS = [
+    {"id": 1, "sector": "telecom", "revenue": 10.0},
+    {"id": 2, "sector": "finance", "revenue": 30.0},
+    {"id": 3, "sector": "telecom", "revenue": 20.0},
+]
+
+
+class TestRelational:
+    def test_select(self):
+        out = select(ROWS, lambda r: r["revenue"] > 15)
+        assert [r["id"] for r in out] == [2, 3]
+
+    def test_project(self):
+        out = project(ROWS, ["id"])
+        assert out == [{"id": 1}, {"id": 2}, {"id": 3}]
+
+    def test_project_missing_column(self):
+        with pytest.raises(ModelError):
+            project(ROWS, ["ghost"])
+
+    def test_group_aggregate_sum(self):
+        out = group_aggregate(ROWS, "sector", "revenue", "sum")
+        assert out == [
+            {"sector": "finance", "sum": 30.0},
+            {"sector": "telecom", "sum": 30.0},
+        ]
+
+    def test_group_aggregate_avg_and_count(self):
+        avg = group_aggregate(ROWS, "sector", "revenue", "avg")
+        assert avg[1] == {"sector": "telecom", "avg": 15.0}
+        count = group_aggregate(ROWS, "sector", "revenue", "count")
+        assert count[1] == {"sector": "telecom", "count": 2}
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ModelError):
+            group_aggregate(ROWS, "sector", "revenue", "median")
+
+    def test_hash_join(self):
+        sectors = [
+            {"sector": "telecom", "region": "EU"},
+            {"sector": "finance", "region": "UK"},
+        ]
+        out = hash_join(ROWS, sectors, key="sector")
+        assert len(out) == 3
+        assert out[0]["region"] == "EU"
+
+    def test_hash_join_collision_suffix(self):
+        left = [{"k": 1, "v": "left"}]
+        right = [{"k": 1, "v": "right"}]
+        out = hash_join(left, right, key="k")
+        assert out == [{"k": 1, "v": "left", "v_r": "right"}]
+
+    def test_hash_join_missing_key(self):
+        with pytest.raises(ModelError):
+            hash_join([{"a": 1}], [{"k": 1}], key="k")
+
+    def test_order_by_and_limit(self):
+        out = order_by(ROWS, "revenue", descending=True)
+        assert [r["id"] for r in out] == [2, 3, 1]
+        assert limit(out, 1)[0]["id"] == 2
+        with pytest.raises(ModelError):
+            limit(out, -1)
+
+    def test_order_by_missing_column(self):
+        with pytest.raises(ModelError):
+            order_by(ROWS, "ghost")

@@ -1,0 +1,87 @@
+"""Tests for the 2026 hindsight-validation module."""
+
+import pytest
+
+from repro.core import (
+    ACTUALS_2026,
+    ActualOutcome,
+    Outcome,
+    forecast_error_summary,
+    hindsight_report,
+    risk_calibration,
+)
+from repro.core.technology import TECHNOLOGY_CATALOG
+from repro.errors import ModelError
+
+
+class TestActuals:
+    def test_every_catalog_entry_scored(self):
+        assert set(ACTUALS_2026) == set(TECHNOLOGY_CATALOG)
+
+    def test_arrived_outcomes_have_years(self):
+        for actual in ACTUALS_2026.values():
+            if actual.outcome != Outcome.NOT_YET:
+                assert actual.actual_year is not None
+            else:
+                assert actual.actual_year is None
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ActualOutcome("x", Outcome.COMMODITY, None, "missing year")
+        with pytest.raises(ModelError):
+            ActualOutcome("x", Outcome.NOT_YET, 2020, "spurious year")
+
+
+class TestHindsightReport:
+    def test_one_score_per_technology(self):
+        scores = hindsight_report()
+        assert len(scores) == len(TECHNOLOGY_CATALOG)
+        assert [s.technology for s in scores] == sorted(TECHNOLOGY_CATALOG)
+
+    def test_error_sign_convention(self):
+        scores = {s.technology: s for s in hindsight_report()}
+        # NFV arrived 2020 vs forecast 2018: positive (late) error.
+        assert scores["nfv"].error_years == 2
+        # ASIC accel arrived a year early: negative error.
+        assert scores["asic-accel"].error_years == -1
+
+    def test_not_yet_has_no_error(self):
+        scores = {s.technology: s for s in hindsight_report()}
+        assert scores["neuromorphic"].error_years is None
+
+    def test_missing_actual_rejected(self):
+        partial = {
+            k: v for k, v in ACTUALS_2026.items() if k != "sdn"
+        }
+        with pytest.raises(ModelError):
+            hindsight_report(partial)
+
+    def test_headline_2016_calls(self):
+        scores = {s.technology: s for s in hindsight_report()}
+        assert scores["400gbe"].actual_year > 2020
+        assert scores["sip-chiplets"].outcome == Outcome.COMMODITY
+        assert scores["nvm"].outcome == Outcome.WITHDRAWN
+
+
+class TestSummary:
+    def test_error_summary_fields(self):
+        summary = forecast_error_summary()
+        assert summary["n_scored"] == len(TECHNOLOGY_CATALOG) - 1
+        assert summary["mean_abs_error_years"] <= summary["max_abs_error_years"]
+        assert summary["n_not_yet"] == 1
+        assert summary["n_withdrawn"] == 1
+
+    def test_forecasts_were_good(self):
+        summary = forecast_error_summary()
+        assert summary["mean_abs_error_years"] < 2.0
+
+    def test_risk_calibration_direction(self):
+        calibration = risk_calibration()
+        assert (
+            calibration["mean_risk_troubled"]
+            > calibration["mean_risk_on_time"]
+        )
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ModelError):
+            forecast_error_summary([])

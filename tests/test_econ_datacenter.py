@@ -1,0 +1,114 @@
+"""Tests for whole-data-center TCO aggregation."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.econ import (
+    FacilityModel,
+    cost_per_server_hour,
+    datacenter_tco,
+    design_comparison,
+)
+from repro.errors import ModelError
+from repro.network import leaf_spine, white_box_switch, branded_switch
+from repro.node import accelerated_server, commodity_server, nvidia_k80, xeon_e5
+
+
+def _cluster(hosts_per_leaf=4):
+    return uniform_cluster(
+        leaf_spine(2, 2, hosts_per_leaf),
+        lambda: commodity_server(xeon_e5()),
+    )
+
+
+class TestFacility:
+    def test_cost_scales_with_power(self):
+        facility = FacilityModel()
+        assert facility.cost_usd(200_000, 5.0) == pytest.approx(
+            2 * facility.cost_usd(100_000, 5.0)
+        )
+
+    def test_amortization_caps_at_full_life(self):
+        facility = FacilityModel(amortization_years=10.0)
+        assert facility.cost_usd(1e5, 20.0) == facility.cost_usd(1e5, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FacilityModel(usd_per_kw=-1.0)
+        with pytest.raises(ModelError):
+            FacilityModel().cost_usd(1e5, 0.0)
+
+
+class TestDatacenterTco:
+    def test_all_components_present(self):
+        tco = datacenter_tco(_cluster(), white_box_switch())
+        labels = tco.by_label()
+        for label in ("servers", "server-energy", "switches", "facility",
+                      "staff"):
+            assert labels[label] > 0, label
+
+    def test_switch_count_from_fabric(self):
+        cluster = _cluster()
+        tco = datacenter_tco(cluster, white_box_switch())
+        n_switches = len(cluster.fabric.switches)
+        expected = white_box_switch().tco(5.0).capex_usd * n_switches
+        assert tco.by_label()["switches"] == pytest.approx(expected)
+
+    def test_utilization_moves_energy_only(self):
+        cluster = _cluster()
+        low = datacenter_tco(cluster, white_box_switch(), utilization=0.1)
+        high = datacenter_tco(cluster, white_box_switch(), utilization=0.9)
+        assert high.by_label()["server-energy"] > low.by_label()["server-energy"]
+        assert high.by_label()["servers"] == low.by_label()["servers"]
+
+    def test_accelerated_cluster_costs_more(self):
+        plain = _cluster()
+        accel = uniform_cluster(
+            leaf_spine(2, 2, 4),
+            lambda: accelerated_server(xeon_e5(), nvidia_k80()),
+        )
+        assert (
+            datacenter_tco(accel, white_box_switch()).total_usd
+            > datacenter_tco(plain, white_box_switch()).total_usd
+        )
+
+    def test_branded_switches_raise_total(self):
+        cluster = _cluster()
+        assert (
+            datacenter_tco(cluster, branded_switch()).total_usd
+            > datacenter_tco(cluster, white_box_switch()).total_usd
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            datacenter_tco(_cluster(), white_box_switch(), horizon_years=0)
+        with pytest.raises(ModelError):
+            datacenter_tco(_cluster(), white_box_switch(), utilization=2.0)
+
+
+class TestUnitEconomics:
+    def test_cost_per_server_hour_sane_range(self):
+        # 2016-era all-in server-hour costs land near $0.1-$1.
+        rate = cost_per_server_hour(_cluster(), white_box_switch())
+        assert 0.05 < rate < 2.0
+
+    def test_bigger_cluster_amortizes_switches(self):
+        small = cost_per_server_hour(_cluster(2), white_box_switch())
+        large = cost_per_server_hour(_cluster(16), white_box_switch())
+        assert large < small
+
+    def test_design_comparison_table(self):
+        designs = {
+            "white-box": (_cluster(), white_box_switch()),
+            "branded": (_cluster(), branded_switch()),
+        }
+        table = design_comparison(designs)
+        assert table["branded"]["total_usd"] > table["white-box"]["total_usd"]
+        for row in table.values():
+            assert row["capex_usd"] + row["opex_usd"] == pytest.approx(
+                row["total_usd"]
+            )
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(ModelError):
+            design_comparison({})

@@ -1,0 +1,201 @@
+"""Additional edge-case tests for the kernel and low-level models."""
+
+import pytest
+
+from repro.engine import Container, Event, Resource, Simulator, Store
+from repro.errors import ModelError, SimulationError
+from repro.node import (
+    Kernel,
+    ProgrammingModel,
+    attainable_ops_per_s,
+    execution_time_s,
+    nvidia_k80,
+    xeon_e5,
+)
+
+
+class TestAllOfAnyOfEdgeCases:
+    def test_all_of_with_prefired_events(self):
+        sim = Simulator()
+        fired = sim.event()
+        fired.succeed("already")
+        results = []
+
+        def waiter(sim):
+            values = yield sim.all_of([fired, sim.timeout(1.0, "late")])
+            results.append((sim.now, values))
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert results == [(1.0, ["already", "late"])]
+
+    def test_any_of_with_prefired_event_wins_immediately(self):
+        sim = Simulator()
+        fired = sim.event()
+        fired.succeed("instant")
+        results = []
+
+        def waiter(sim):
+            winner = yield sim.any_of([sim.timeout(5.0), fired])
+            results.append((sim.now, winner))
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert results == [(0.0, (1, "instant"))]
+
+    def test_nested_all_of(self):
+        sim = Simulator()
+        results = []
+
+        def waiter(sim):
+            inner = sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+            outer = yield sim.all_of([inner, sim.timeout(3.0, "c")])
+            results.append((sim.now, outer))
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert results == [(3.0, [["a", "b"], "c"])]
+
+
+class TestProcessReturnValues:
+    def test_generator_return_value_propagates(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            return {"answer": 42}
+
+        handle = sim.spawn(child(sim))
+        sim.run()
+        assert handle.value == {"answer": 42}
+
+    def test_chained_spawns(self):
+        sim = Simulator()
+        results = []
+
+        def grandchild(sim):
+            yield sim.timeout(1.0)
+            return 1
+
+        def child(sim):
+            value = yield sim.spawn(grandchild(sim))
+            yield sim.timeout(1.0)
+            return value + 1
+
+        def parent(sim):
+            value = yield sim.spawn(child(sim))
+            results.append((sim.now, value + 1))
+
+        sim.spawn(parent(sim))
+        sim.run()
+        assert results == [(2.0, 3)]
+
+
+class TestResourceStress:
+    def test_interleaved_acquire_release_preserves_capacity(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=3)
+        violations = []
+
+        def worker(sim, delay, hold):
+            yield sim.timeout(delay)
+            yield resource.acquire()
+            if resource.in_use > resource.capacity:
+                violations.append(sim.now)
+            yield sim.timeout(hold)
+            resource.release()
+
+        for i in range(20):
+            sim.spawn(worker(sim, delay=i * 0.1, hold=0.35))
+        sim.run()
+        assert not violations
+        assert resource.in_use == 0
+
+    def test_container_level_never_negative(self):
+        sim = Simulator()
+        tank = Container(sim, initial=5.0)
+        levels = []
+
+        def consumer(sim, amount):
+            yield tank.get(amount)
+            levels.append(tank.level)
+
+        def producer(sim):
+            for _ in range(3):
+                yield sim.timeout(1.0)
+                yield tank.put(2.0)
+
+        for amount in (4.0, 4.0, 3.0):
+            sim.spawn(consumer(sim, amount))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert all(level >= 0 for level in levels)
+
+
+class TestRooflineWithProgrammingModels:
+    def test_portable_model_slower_than_native(self):
+        gpu = nvidia_k80()
+        kernel = Kernel("dense", ops=1e12, bytes_moved=1e9)
+        native = execution_time_s(kernel, gpu, ProgrammingModel.CUDA)
+        portable = execution_time_s(kernel, gpu, ProgrammingModel.OPENCL)
+        assert portable > native
+
+    def test_attainable_respects_model(self):
+        gpu = nvidia_k80()
+        kernel = Kernel("dense", ops=1e12, bytes_moved=1e9)
+        assert attainable_ops_per_s(
+            kernel, gpu, ProgrammingModel.OPENCL
+        ) < attainable_ops_per_s(kernel, gpu, ProgrammingModel.CUDA)
+
+    def test_unsupported_model_raises(self):
+        cpu = xeon_e5()
+        kernel = Kernel("x", ops=1e9, bytes_moved=1e6)
+        with pytest.raises(ModelError):
+            execution_time_s(kernel, cpu, ProgrammingModel.SPIKE)
+
+    def test_memory_bound_kernel_model_invariant(self):
+        # Below the bandwidth roof, the programming model cannot matter.
+        gpu = nvidia_k80()
+        kernel = Kernel("scan", ops=1e9, bytes_moved=1e12)
+        native = attainable_ops_per_s(kernel, gpu, ProgrammingModel.CUDA)
+        portable = attainable_ops_per_s(kernel, gpu, ProgrammingModel.OPENCL)
+        assert native == portable  # both pinned to the bandwidth roof
+
+
+class TestStoreEdgeCases:
+    def test_multiple_consumers_fifo_service(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim, tag, arrive):
+            yield sim.timeout(arrive)
+            item = yield store.get()
+            got.append((tag, item))
+
+        def producer(sim):
+            yield sim.timeout(1.0)
+            for item in ("x", "y"):
+                yield store.put(item)
+
+        sim.spawn(consumer(sim, "first", 0.1))
+        sim.spawn(consumer(sim, "second", 0.2))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_event_fail_before_wait(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.fail(ValueError("early failure"))
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield evt
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert caught == ["early failure"]

@@ -1,0 +1,266 @@
+"""Tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.engine import Container, Resource, Simulator, Store
+from repro.errors import SimulationError
+
+
+class TestResource:
+    def test_acquire_within_capacity_is_immediate(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        grants = []
+
+        def proc(sim):
+            yield res.acquire()
+            grants.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.spawn(proc(sim))
+        sim.run()
+        assert grants == [0.0, 0.0]
+        assert res.in_use == 2
+
+    def test_queueing_beyond_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def holder(sim):
+            yield res.acquire()
+            log.append(("hold", sim.now))
+            yield sim.timeout(5.0)
+            res.release()
+
+        def waiter(sim):
+            yield sim.timeout(1.0)
+            yield res.acquire()
+            log.append(("grant", sim.now))
+            res.release()
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert log == [("hold", 0.0), ("grant", 5.0)]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder(sim):
+            yield res.acquire()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def waiter(sim, tag, arrive):
+            yield sim.timeout(arrive)
+            yield res.acquire()
+            order.append(tag)
+            res.release()
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim, "first", 0.1))
+        sim.spawn(waiter(sim, "second", 0.2))
+        sim.spawn(waiter(sim, "third", 0.3))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_utilization_tracks_busy_time(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def proc(sim):
+            yield res.acquire()
+            yield sim.timeout(4.0)
+            res.release()
+            yield sim.timeout(4.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        # Busy 4 of 8 seconds.
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder(sim):
+            yield res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter(sim):
+            yield res.acquire()
+            res.release()
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim))
+        sim.spawn(waiter(sim))
+        sim.run(until=5.0)
+        assert res.queue_length == 2
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        tank = Container(sim)
+        log = []
+
+        def consumer(sim):
+            yield tank.get(10.0)
+            log.append(sim.now)
+
+        def producer(sim):
+            yield sim.timeout(3.0)
+            yield tank.put(10.0)
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert log == [3.0]
+        assert tank.level == 0.0
+
+    def test_initial_level(self):
+        sim = Simulator()
+        tank = Container(sim, initial=5.0)
+        assert tank.level == 5.0
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        tank = Container(sim, initial=8.0, capacity=10.0)
+        log = []
+
+        def producer(sim):
+            yield tank.put(5.0)  # must wait: 8 + 5 > 10
+            log.append(sim.now)
+
+        def consumer(sim):
+            yield sim.timeout(2.0)
+            yield tank.get(6.0)
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert log == [2.0]
+        assert tank.level == pytest.approx(7.0)
+
+    def test_head_of_line_blocking_is_fifo(self):
+        sim = Simulator()
+        tank = Container(sim, initial=3.0)
+        order = []
+
+        def getter(sim, tag, amount, arrive):
+            yield sim.timeout(arrive)
+            yield tank.get(amount)
+            order.append(tag)
+
+        def producer(sim):
+            yield sim.timeout(1.0)
+            yield tank.put(10.0)
+
+        # "big" arrives first and needs 10; "small" needs 1 and could be
+        # served from the initial 3, but FIFO means big goes first.
+        sim.spawn(getter(sim, "big", 10.0, 0.0))
+        sim.spawn(getter(sim, "small", 1.0, 0.5))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert order == ["big", "small"]
+
+    def test_invalid_arguments(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Container(sim, initial=-1.0)
+        with pytest.raises(SimulationError):
+            Container(sim, initial=5.0, capacity=1.0)
+        tank = Container(sim)
+        with pytest.raises(SimulationError):
+            tank.put(-1.0)
+        with pytest.raises(SimulationError):
+            tank.get(-1.0)
+
+
+class TestStore:
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer(sim):
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+
+        def consumer(sim):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        log = []
+
+        def consumer(sim):
+            item = yield store.get()
+            log.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(4.0)
+            yield store.put("late")
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert log == [(4.0, "late")]
+
+    def test_bounded_store_applies_backpressure(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer(sim):
+            yield store.put("a")
+            log.append(("a-in", sim.now))
+            yield store.put("b")
+            log.append(("b-in", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert log == [("a-in", 0.0), ("b-in", 5.0)]
+
+    def test_len_reports_buffered_items(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer(sim):
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.spawn(producer(sim))
+        sim.run()
+        assert len(store) == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)

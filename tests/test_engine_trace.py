@@ -1,0 +1,181 @@
+"""Tests for metric tracing and random streams."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MetricSeries,
+    RandomStream,
+    Tracer,
+    confidence_interval_95,
+    summarize,
+)
+
+
+class TestMetricSeries:
+    def test_mean_and_percentiles(self):
+        series = MetricSeries("latency")
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            series.record(float(i), v)
+        assert series.mean() == pytest.approx(2.5)
+        assert series.p50() == pytest.approx(2.5)
+        assert series.maximum() == 4.0
+
+    def test_p99_close_to_max_for_uniform(self):
+        series = MetricSeries("x")
+        for i in range(1000):
+            series.record(float(i), float(i))
+        assert 985 <= series.p99() <= 999
+
+    def test_requires_time_order(self):
+        series = MetricSeries("x")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_series_raises(self):
+        series = MetricSeries("x")
+        with pytest.raises(ValueError):
+            series.mean()
+        with pytest.raises(ValueError):
+            series.percentile(50)
+        with pytest.raises(ValueError):
+            series.maximum()
+
+    def test_time_weighted_mean_piecewise_constant(self):
+        series = MetricSeries("queue")
+        series.record(0.0, 0.0)
+        series.record(2.0, 10.0)  # value 10 over [2, 4]
+        # horizon 4: (0*2 + 10*2) / 4 = 5
+        assert series.time_weighted_mean(4.0) == pytest.approx(5.0)
+
+    def test_time_weighted_mean_signal_zero_before_first_sample(self):
+        series = MetricSeries("queue")
+        series.record(5.0, 4.0)
+        # horizon 10: 0 over [0,5], 4 over [5,10] -> 2
+        assert series.time_weighted_mean(10.0) == pytest.approx(2.0)
+
+    def test_time_weighted_mean_bad_horizon(self):
+        series = MetricSeries("x")
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(0.0)
+
+
+class TestTracer:
+    def test_metric_created_on_demand(self):
+        tracer = Tracer()
+        tracer.record("lat", 0.0, 1.0)
+        tracer.record("lat", 1.0, 2.0)
+        assert len(tracer.metric("lat")) == 2
+        assert tracer.names() == ["lat"]
+
+    def test_distinct_metrics_are_independent(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 9.0)
+        assert tracer.metric("a").mean() == 1.0
+        assert tracer.metric("b").mean() == 9.0
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summarize_single_sample_std_zero(self):
+        assert summarize([5.0])["std"] == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=200).tolist()
+        lo, hi = confidence_interval_95(samples)
+        assert lo < 10.0 < hi
+
+    def test_confidence_interval_needs_two(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95([1.0])
+
+
+class TestRandomStream:
+    def test_same_seed_same_draws(self):
+        a = RandomStream(42)
+        b = RandomStream(42)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert RandomStream(1).uniform() != RandomStream(2).uniform()
+
+    def test_fork_is_order_independent(self):
+        root1 = RandomStream(7)
+        root2 = RandomStream(7)
+        a1 = root1.fork("arrivals")
+        _ = root1.fork("service")
+        _ = root2.fork("service")
+        a2 = root2.fork("arrivals")
+        assert a1.uniform() == a2.uniform()
+
+    def test_fork_streams_are_distinct(self):
+        root = RandomStream(7)
+        assert root.fork("a").uniform() != root.fork("b").uniform()
+
+    def test_exponential_mean(self):
+        stream = RandomStream(3)
+        draws = [stream.exponential(2.0) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(0).exponential(0.0)
+
+    def test_lognormal_median(self):
+        stream = RandomStream(4)
+        draws = [stream.lognormal(5.0, 0.5) for _ in range(5001)]
+        assert np.median(draws) == pytest.approx(5.0, rel=0.15)
+
+    def test_pareto_minimum_is_scale(self):
+        stream = RandomStream(5)
+        draws = [stream.pareto(2.0, 3.0) for _ in range(1000)]
+        assert min(draws) >= 3.0
+
+    def test_zipf_indices_skewed_toward_head(self):
+        stream = RandomStream(6)
+        idx = stream.zipf_indices(100, skew=1.2, size=10000)
+        assert idx.min() >= 0 and idx.max() < 100
+        head = np.mean(idx < 10)
+        tail = np.mean(idx >= 90)
+        assert head > 5 * tail
+
+    def test_zipf_zero_skew_is_uniform(self):
+        stream = RandomStream(8)
+        idx = stream.zipf_indices(10, skew=0.0, size=20000)
+        counts = np.bincount(idx, minlength=10) / 20000
+        assert np.allclose(counts, 0.1, atol=0.02)
+
+    def test_choice_with_weights(self):
+        stream = RandomStream(9)
+        picks = [stream.choice(["a", "b"], p=[0.9, 0.1]) for _ in range(1000)]
+        assert picks.count("a") > 800
+
+    def test_integer_bounds(self):
+        stream = RandomStream(10)
+        draws = [stream.integer(3, 6) for _ in range(200)]
+        assert set(draws) <= {3, 4, 5}
+
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(11)
+        items = list(range(20))
+        shuffled = stream.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_poisson_non_negative(self):
+        stream = RandomStream(12)
+        assert all(stream.poisson(3.0) >= 0 for _ in range(100))

@@ -1,0 +1,210 @@
+"""Tests for the declarative query layer (compiles to dataflow plans)."""
+
+import pytest
+
+from repro.analytics import group_aggregate, hash_join, order_by, select
+from repro.cluster import uniform_cluster
+from repro.errors import PlanError
+from repro.frameworks import (
+    Aggregation,
+    BatchExecutor,
+    PartitionedDataset,
+    Predicate,
+    Query,
+    run_query,
+)
+from repro.network import leaf_spine
+from repro.node import commodity_server, xeon_e5
+from repro.workloads import sales_table
+
+
+def _executor():
+    return BatchExecutor(
+        uniform_cluster(leaf_spine(2, 2, 2),
+                        lambda: commodity_server(xeon_e5()))
+    )
+
+
+def _rows():
+    return sales_table(500, seed=31)
+
+
+def _dataset(rows=None):
+    return PartitionedDataset.from_records(rows or _rows(), 4,
+                                           record_bytes=120)
+
+
+class TestPredicate:
+    def test_all_operators(self):
+        row = {"x": 5}
+        assert Predicate("x", "==", 5).matcher()(row)
+        assert Predicate("x", "!=", 4).matcher()(row)
+        assert Predicate("x", "<", 6).matcher()(row)
+        assert Predicate("x", "<=", 5).matcher()(row)
+        assert Predicate("x", ">", 4).matcher()(row)
+        assert Predicate("x", ">=", 5).matcher()(row)
+        assert Predicate("x", "in", (4, 5)).matcher()(row)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            Predicate("x", "~", 1)
+
+    def test_missing_column_raises_at_runtime(self):
+        with pytest.raises(PlanError):
+            Predicate("ghost", "==", 1).matcher()({"x": 1})
+
+
+class TestCompilation:
+    def test_filter_group_shape(self):
+        plan = (
+            Query.table()
+            .where("region", "==", "EU")
+            .group_by("sector", Aggregation("sum", "amount", "total"))
+            .compile()
+        )
+        kinds = [op.kind for op in plan.operators]
+        assert kinds == ["filter", "map", "group_by_key", "map"]
+
+    def test_predicate_pushdown_order(self):
+        # Filters compile before the join even though declared after.
+        plan = (
+            Query.table()
+            .join([{"k": 1}], left_key="k", right_key="k")
+            .where("x", ">", 0)
+            .compile()
+        )
+        kinds = [op.kind for op in plan.operators]
+        assert kinds.index("filter") < kinds.index("broadcast_join")
+
+    def test_group_needs_aggregation(self):
+        with pytest.raises(PlanError):
+            Query.table().group_by("sector")
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(PlanError):
+            Query.table().group_by(
+                "s",
+                Aggregation("sum", "a", "x"),
+                Aggregation("avg", "a", "x"),
+            )
+
+    def test_single_join_only(self):
+        query = Query.table().join([{"k": 1}], "k", "k")
+        with pytest.raises(PlanError):
+            query.join([{"k": 2}], "k", "k")
+
+    def test_bad_aggregate_fn(self):
+        with pytest.raises(PlanError):
+            Aggregation("median", "a", "m")
+
+    def test_bad_limit(self):
+        with pytest.raises(PlanError):
+            Query.table().limit(0)
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(PlanError):
+            Query.table().select()
+
+
+class TestExecution:
+    def test_where_matches_reference_select(self):
+        rows = _rows()
+        query = Query.table().where("region", "==", "EU")
+        got = run_query(_executor(), query, _dataset(rows))
+        expected = select(rows, lambda r: r["region"] == "EU")
+        assert sorted(r["order_id"] for r in got) == sorted(
+            r["order_id"] for r in expected
+        )
+
+    def test_group_by_matches_reference_aggregate(self):
+        rows = _rows()
+        query = Query.table().group_by(
+            "sector", Aggregation("sum", "amount", "sum")
+        )
+        got = run_query(_executor(), query, _dataset(rows))
+        expected = group_aggregate(rows, "sector", "amount", "sum")
+        got_map = {r["sector"]: r["sum"] for r in got}
+        for row in expected:
+            assert got_map[row["sector"]] == pytest.approx(row["sum"])
+
+    def test_multiple_aggregates(self):
+        rows = _rows()
+        query = Query.table().group_by(
+            "region",
+            Aggregation("count", "amount", "n"),
+            Aggregation("max", "amount", "biggest"),
+        )
+        got = {r["region"]: r for r in run_query(_executor(), query,
+                                                 _dataset(rows))}
+        eu_rows = [r for r in rows if r["region"] == "EU"]
+        assert got["EU"]["n"] == len(eu_rows)
+        assert got["EU"]["biggest"] == max(r["amount"] for r in eu_rows)
+
+    def test_join_matches_reference_hash_join(self):
+        rows = _rows()
+        dims = [{"sector": s, "multiplier": i}
+                for i, s in enumerate(
+                    ("telecom", "finance", "health", "automotive",
+                     "analytics"))]
+        query = Query.table().join(dims, left_key="sector",
+                                   right_key="sector")
+        got = run_query(_executor(), query, _dataset(rows))
+        expected = hash_join(rows, dims, key="sector")
+        assert len(got) == len(expected)
+        assert all("multiplier" in r for r in got)
+
+    def test_order_by_descending_with_limit(self):
+        rows = _rows()
+        query = (
+            Query.table()
+            .order_by("amount", descending=True)
+            .limit(5)
+        )
+        got = run_query(_executor(), query, _dataset(rows))
+        reference = order_by(rows, "amount", descending=True)[:5]
+        assert [r["order_id"] for r in got] == [
+            r["order_id"] for r in reference
+        ]
+
+    def test_select_projects_columns(self):
+        query = Query.table().select("order_id", "amount")
+        got = run_query(_executor(), query, _dataset())
+        assert all(set(r) == {"order_id", "amount"} for r in got)
+
+    def test_full_query_pipeline(self):
+        # WHERE + GROUP BY + ORDER BY + LIMIT: the paper's SQL archetype.
+        rows = _rows()
+        query = (
+            Query.table()
+            .where("region", "==", "EU")
+            .group_by("sector", Aggregation("sum", "amount", "total"))
+            .order_by("total", descending=True)
+            .limit(2)
+        )
+        got = run_query(_executor(), query, _dataset(rows))
+        assert len(got) == 2
+        assert got[0]["total"] >= got[1]["total"]
+        # Cross-check against the relational reference implementation.
+        eu = select(rows, lambda r: r["region"] == "EU")
+        reference = order_by(
+            group_aggregate(eu, "sector", "amount", "sum"), "sum",
+            descending=True,
+        )[:2]
+        assert got[0]["total"] == pytest.approx(reference[0]["sum"])
+
+    def test_limit_plans_are_single_use(self):
+        query = Query.table().limit(3)
+        plan = query.compile()
+        executor = _executor()
+        first = executor.run(plan, _dataset()).records
+        second = executor.run(plan, _dataset()).records
+        assert len(first) == 3
+        assert len(second) == 0  # documented single-use behaviour
+        # Recompiling resets the counter.
+        third = executor.run(query.compile(), _dataset()).records
+        assert len(third) == 3
+
+    def test_missing_column_surfaces(self):
+        query = Query.table().where("ghost", "==", 1)
+        with pytest.raises(PlanError):
+            run_query(_executor(), query, _dataset())

@@ -1,0 +1,129 @@
+"""Tests for fabric failure-resilience analysis."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import (
+    fat_tree,
+    hosts_connected,
+    leaf_spine,
+    min_cut_links_between,
+    progressive_link_failures,
+    single_switch_failure_impact,
+    without_links,
+    without_switches,
+)
+
+
+class TestDegradedCopies:
+    def test_without_links_removes_only_named(self):
+        fabric = leaf_spine(2, 2, 2)
+        degraded = without_links(fabric, [("leaf0", "spine0")])
+        assert not degraded.graph.has_edge("leaf0", "spine0")
+        assert degraded.graph.has_edge("leaf0", "spine1")
+        # Original fabric untouched.
+        assert fabric.graph.has_edge("leaf0", "spine0")
+
+    def test_without_unknown_link_rejected(self):
+        fabric = leaf_spine(2, 2, 2)
+        with pytest.raises(TopologyError):
+            without_links(fabric, [("leaf0", "leaf1")])
+
+    def test_without_switches(self):
+        fabric = leaf_spine(2, 2, 2)
+        degraded = without_switches(fabric, ["spine0"])
+        assert "spine0" not in degraded.graph
+        assert hosts_connected(degraded)
+
+    def test_cannot_fail_a_host(self):
+        fabric = leaf_spine(2, 2, 2)
+        with pytest.raises(TopologyError):
+            without_switches(fabric, ["host0-0"])
+
+    def test_unknown_switch_rejected(self):
+        with pytest.raises(TopologyError):
+            without_switches(leaf_spine(2, 2, 2), ["ghost"])
+
+
+class TestConnectivity:
+    def test_connected_baseline(self):
+        assert hosts_connected(leaf_spine(2, 2, 2))
+
+    def test_losing_a_leaf_disconnects_its_hosts(self):
+        fabric = leaf_spine(2, 2, 2)
+        degraded = without_switches(fabric, ["leaf0"])
+        assert not hosts_connected(degraded)
+
+    def test_losing_one_spine_keeps_connectivity(self):
+        fabric = leaf_spine(4, 2, 2)
+        degraded = without_switches(fabric, ["spine0"])
+        assert hosts_connected(degraded)
+
+    def test_min_cut_equals_spine_count_cross_leaf(self):
+        fabric = leaf_spine(4, 2, 2)
+        # Cross-leaf pairs are limited by the host access link (1).
+        assert min_cut_links_between(fabric, "host0-0", "host1-0") == 1
+        # Leaf-to-leaf connectivity itself is spine-wide.
+        import networkx as nx
+
+        assert nx.edge_connectivity(fabric.graph, "leaf0", "leaf1") == 4
+
+    def test_min_cut_unknown_node(self):
+        with pytest.raises(TopologyError):
+            min_cut_links_between(leaf_spine(2, 2, 2), "ghost", "host0-0")
+
+
+class TestProgressiveFailures:
+    def test_bisection_degrades_monotonically_while_connected(self):
+        fabric = fat_tree(4)
+        points = progressive_link_failures(fabric, n_steps=6, links_per_step=2)
+        fractions = [p.bisection_fraction for p in points if p.connected]
+        assert fractions[0] == 1.0
+        assert all(b <= a + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+    def test_path_diversity_prevents_disconnection(self):
+        # A single-spine leaf-spine partitions after one uplink failure;
+        # the fat-tree absorbs several and stays connected.
+        ft = fat_tree(4)
+        single_spine = leaf_spine(1, 2, 2)
+        ft_points = progressive_link_failures(ft, n_steps=4, seed=3)
+        ls_points = progressive_link_failures(
+            single_spine, n_steps=4, links_per_step=1, seed=3
+        )
+        assert ft_points[-1].connected
+        assert ft_points[-1].bisection_fraction >= 0.5
+        assert not ls_points[-1].connected
+
+    def test_deterministic_given_seed(self):
+        fabric = fat_tree(4)
+        a = progressive_link_failures(fabric, 3, seed=9)
+        b = progressive_link_failures(fabric, 3, seed=9)
+        assert [(p.failures, p.bisection_gbps) for p in a] == [
+            (p.failures, p.bisection_gbps) for p in b
+        ]
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            progressive_link_failures(fat_tree(4), 0)
+
+
+class TestSwitchFailureImpact:
+    def test_leaf_spine_spine_loss_fraction(self):
+        # Capacity-balanced design: 16 hosts x 10G per leaf == 4 spines
+        # x 40G of uplink, so losing 1 of 4 spines costs 1/4 of bisection.
+        fabric = leaf_spine(4, 2, 16)
+        impact = single_switch_failure_impact(fabric)
+        assert impact["agg"] == pytest.approx(0.75, abs=0.05)
+        # Losing a leaf disconnects its hosts entirely.
+        assert impact["tor"] == 0.0
+
+    def test_overprovisioned_uplinks_hide_spine_loss(self):
+        # With fat uplinks the access links bind: a spine loss is
+        # invisible to host-partition bisection (fraction stays 1.0).
+        fabric = leaf_spine(4, 2, 4)
+        impact = single_switch_failure_impact(fabric)
+        assert impact["agg"] == pytest.approx(1.0)
+
+    def test_fat_tree_core_loss_is_gentle(self):
+        impact = single_switch_failure_impact(fat_tree(4))
+        assert impact["core"] >= 0.7

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the simulation kernel and
+randomness/metrics utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    MetricSeries,
+    RandomStream,
+    Resource,
+    Simulator,
+    Store,
+    summarize,
+)
+
+
+class TestSimulatorProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6),
+                           min_size=1, max_size=50))
+    def test_clock_ends_at_max_delay(self, delays):
+        sim = Simulator()
+        for delay in delays:
+            sim.timeout(delay)
+        assert sim.run() == max(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3),
+                           min_size=1, max_size=30))
+    def test_completion_order_is_time_order(self, delays):
+        sim = Simulator()
+        finished = []
+
+        def proc(sim, tag, delay):
+            yield sim.timeout(delay)
+            finished.append((sim.now, tag))
+
+        for tag, delay in enumerate(delays):
+            sim.spawn(proc(sim, tag, delay))
+        sim.run()
+        times = [t for t, _ in finished]
+        assert times == sorted(times)
+        assert len(finished) == len(delays)
+
+    @given(
+        n_procs=st.integers(min_value=1, max_value=20),
+        capacity=st.integers(min_value=1, max_value=5),
+        hold=st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_resource_never_exceeds_capacity(self, n_procs, capacity, hold):
+        sim = Simulator()
+        resource = Resource(sim, capacity=capacity)
+        peak = {"value": 0}
+
+        def proc(sim):
+            yield resource.acquire()
+            peak["value"] = max(peak["value"], resource.in_use)
+            yield sim.timeout(hold)
+            resource.release()
+
+        for _ in range(n_procs):
+            sim.spawn(proc(sim))
+        sim.run()
+        assert peak["value"] <= capacity
+        assert resource.in_use == 0  # everything released
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=50))
+    def test_store_preserves_fifo_order(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def producer(sim):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(sim):
+            for _ in items:
+                value = yield store.get()
+                received.append(value)
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert received == items
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+        capacity=st.integers(min_value=1, max_value=5),
+    )
+    def test_bounded_store_still_delivers_everything(self, items, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        received = []
+
+        def producer(sim):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(sim):
+            for _ in items:
+                yield sim.timeout(0.1)
+                value = yield store.get()
+                received.append(value)
+
+        sim.spawn(producer(sim))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert received == items
+
+
+class TestMetricProperties:
+    @given(values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1, max_size=200,
+    ))
+    def test_percentiles_within_range(self, values):
+        series = MetricSeries("x")
+        for index, value in enumerate(values):
+            series.record(float(index), value)
+        for q in (0, 25, 50, 75, 99, 100):
+            assert min(values) <= series.percentile(q) <= max(values)
+
+    @given(values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=100,
+    ))
+    def test_summary_invariants(self, values):
+        stats = summarize(values)
+        assert stats["min"] <= stats["p50"] <= stats["max"]
+        assert stats["p50"] <= stats["p90"] <= stats["p99"] <= stats["max"]
+        tolerance = 1e-9 * max(1.0, abs(stats["max"]), abs(stats["min"]))
+        assert stats["min"] - tolerance <= stats["mean"] <= stats["max"] + tolerance
+        assert stats["count"] == len(values)
+
+
+class TestRandomStreamProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_fork_determinism(self, seed):
+        a = RandomStream(seed).fork("child")
+        b = RandomStream(seed).fork("child")
+        assert a.uniform() == b.uniform()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_items=st.integers(min_value=1, max_value=1000),
+        skew=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=30)
+    def test_zipf_indices_in_support(self, seed, n_items, skew):
+        stream = RandomStream(seed)
+        indices = stream.zipf_indices(n_items, skew, size=100)
+        assert indices.min() >= 0
+        assert indices.max() < n_items
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        low=st.integers(min_value=-100, max_value=100),
+        width=st.integers(min_value=1, max_value=50),
+    )
+    def test_integer_bounds(self, seed, low, width):
+        stream = RandomStream(seed)
+        draw = stream.integer(low, low + width)
+        assert low <= draw < low + width
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+    )
+    def test_shuffle_is_permutation(self, seed, items):
+        stream = RandomStream(seed)
+        assert sorted(stream.shuffle(items)) == sorted(items)

@@ -1,0 +1,85 @@
+"""Tests for the energy-aware scheduler variant."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.node import arria10_fpga, nvidia_k80, xeon_e5
+from repro.scheduler import (
+    Executor,
+    HeterogeneousScheduler,
+    chain_job,
+    fork_join_job,
+)
+
+
+def _pool():
+    return [
+        Executor("cpu0", "hA", xeon_e5()),
+        Executor("gpu0", "hA", nvidia_k80()),
+        Executor("fpga0", "hB", arria10_fpga()),
+    ]
+
+
+def _job():
+    return fork_join_job("fj", 8, "dnn-inference", "hash-aggregate",
+                         4_000_000)
+
+
+class TestEnergyAware:
+    def test_valid_schedule(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        schedule = scheduler.energy_aware(_job())
+        schedule.validate()
+        assert len(schedule.assignments) == 10
+
+    def test_saves_energy_vs_heft(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        job = _job()
+        heft = scheduler.heft(job)
+        frugal = scheduler.energy_aware(job, slack=2.0)
+        assert frugal.total_energy_j() <= heft.total_energy_j() + 1e-9
+
+    def test_makespan_stretch_bounded_ish(self):
+        # With slack=1.0 the schedule degenerates to pure EFT behaviour:
+        # per-task finish equals the best available, so makespan matches
+        # HEFT's up to tie-breaking.
+        scheduler = HeterogeneousScheduler(_pool())
+        job = _job()
+        tight = scheduler.energy_aware(job, slack=1.0)
+        heft = scheduler.heft(job)
+        assert tight.makespan_s <= heft.makespan_s * 1.05
+
+    def test_more_slack_never_costs_energy(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        job = _job()
+        energies = [
+            scheduler.energy_aware(job, slack=s).total_energy_j()
+            for s in (1.0, 1.5, 3.0)
+        ]
+        assert energies == sorted(energies, reverse=True) or (
+            max(energies) - min(energies) < 1e-9
+        )
+
+    def test_fpga_attracts_work_under_slack(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        schedule = scheduler.energy_aware(_job(), slack=3.0)
+        devices = {
+            a.executor.device.kind.value
+            for a in schedule.assignments.values()
+        }
+        assert "fpga" in devices
+
+    def test_bad_slack_rejected(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        with pytest.raises(SchedulingError):
+            scheduler.energy_aware(_job(), slack=0.5)
+
+    def test_total_energy_accounting(self):
+        scheduler = HeterogeneousScheduler(_pool())
+        schedule = scheduler.heft(chain_job("c", ["sort"], 100_000))
+        assignment = schedule.assignments["c-0"]
+        expected = (
+            (assignment.finish_s - assignment.start_s)
+            * assignment.executor.device.tdp_w
+        )
+        assert schedule.total_energy_j() == pytest.approx(expected)

@@ -1,0 +1,46 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_bits(self):
+        assert units.bits(1) == 8.0
+        assert units.bits(units.GB) == 8e9
+
+    def test_gbps_roundtrip(self):
+        rate_bps = units.gbps_to_bytes_per_s(40.0)
+        assert rate_bps == pytest.approx(5e9)
+        assert units.bytes_per_s_to_gbps(rate_bps) == pytest.approx(40.0)
+
+    def test_energy_roundtrip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(2.5)) == pytest.approx(2.5)
+        assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+
+    def test_transfer_time_10gbe(self):
+        # 1 GB over 10 GbE: 8e9 bits / 1e10 bps = 0.8 s.
+        assert units.transfer_time_s(units.GB, 10.0) == pytest.approx(0.8)
+
+    def test_transfer_time_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_s(100, 0.0)
+
+    def test_year_is_365_days(self):
+        assert units.YEAR == pytest.approx(365 * 24 * 3600)
+
+
+class TestPretty:
+    def test_pretty_bytes_scales(self):
+        assert units.pretty_bytes(512) == "512 B"
+        assert units.pretty_bytes(2_500) == "2.50 KB"
+        assert units.pretty_bytes(2.5e9) == "2.50 GB"
+        assert units.pretty_bytes(3.2e12) == "3.20 TB"
+
+    def test_pretty_duration_scales(self):
+        assert units.pretty_duration(90) == "1.50 min"
+        assert units.pretty_duration(0.002) == "2.00 ms"
+        assert units.pretty_duration(5e-6) == "5.00 us"
+        assert units.pretty_duration(7200) == "2.00 h"
+        assert units.pretty_duration(2 * units.DAY) == "2.00 d"
