@@ -1,0 +1,297 @@
+"""X10 -- methodology: observability overhead and instrumented coverage.
+
+Two guarantees keep the tracing layer honest:
+
+1. **Disabled is (almost) free.** The same M/M/c-style workload runs on
+   a bare reference kernel -- a faithful replica of the pre-observability
+   event loop, embedded here so the baseline cannot drift -- and on the
+   production kernel with no ``Observability`` attached. The production
+   kernel must stay within 10% of the reference (interleaved min-of-N
+   timing, so machine noise cancels out of the ratio).
+2. **Enabled sees everything.** With an ``Observability`` attached, the
+   run must record a span per request, pool gauges and per-process
+   accounting -- the E2/X2/X7 trace reports depend on this coverage.
+"""
+
+import time
+
+from repro.engine import Observability, Resource, Simulator
+from repro.reporting import render_table
+
+# --- reference kernel: the seed event loop, minus observability -------------
+# A trimmed but semantically faithful copy of the original Event /
+# ProcessHandle / Simulator / Resource quartet: same heapq queue, same
+# (time, seq, call) ordering, same callback flushing, same busy-time
+# accounting. Changing the production kernel cannot silently change this
+# baseline.
+
+
+class _RefEvent:
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._callbacks = []
+        self._triggered = False
+        self._value = None
+        self._exception = None
+
+    @property
+    def triggered(self):
+        return self._triggered
+
+    @property
+    def value(self):
+        return self._value
+
+    def add_callback(self, callback):
+        if self._triggered:
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value=None):
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def _flush(self):
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_call(lambda cb=callback: cb(self))
+
+
+class _RefHandle(_RefEvent):
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim, generator, name=""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on = None
+
+    def _step(self, fired):
+        if self._triggered:
+            return
+        if fired is not None and fired is not self._waiting_on:
+            return
+        self._waiting_on = None
+        try:
+            if fired is not None and fired._exception is not None:
+                target = self.generator.throw(fired._exception)
+            else:
+                send_value = fired._value if fired is not None else None
+                target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, _RefEvent):
+            raise RuntimeError("expected an event")
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+
+class _RefSimulator:
+    def __init__(self, start=0.0):
+        import heapq
+        import itertools
+
+        self._heapq = heapq
+        self._now = float(start)
+        self._queue = []
+        self._sequence = itertools.count()
+        self._event_count = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def _schedule_at(self, when, call):
+        if when < self._now:
+            raise RuntimeError("cannot schedule into the past")
+        self._heapq.heappush(self._queue, (when, next(self._sequence), call))
+
+    def _schedule_call(self, call):
+        self._schedule_at(self._now, call)
+
+    def event(self):
+        return _RefEvent(self)
+
+    def timeout(self, delay, value=None):
+        if delay < 0:
+            raise RuntimeError("negative delay")
+        evt = _RefEvent(self)
+        self._schedule_at(self._now + delay, lambda: evt.succeed(value))
+        return evt
+
+    def spawn(self, generator, name=""):
+        handle = _RefHandle(self, generator, name)
+        self._schedule_call(lambda: handle._step(None))
+        return handle
+
+    def run(self, until=None):
+        queue = self._queue
+        while queue:
+            when, _seq, call = queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self._heapq.heappop(queue)
+            self._now = when
+            self._event_count += 1
+            call()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+
+class _RefResource:
+    def __init__(self, sim, capacity):
+        from collections import deque
+
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+        self._busy_time = 0.0
+        self._last_change = sim.now
+
+    def _account(self):
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self):
+        evt = self.sim.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            evt.succeed(self)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self):
+        if self._in_use <= 0:
+            raise RuntimeError("release without matching acquire")
+        self._account()
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+# --- shared workload --------------------------------------------------------
+
+N_REQUESTS = 2_000
+POOL_SIZE = 4
+
+
+def _drive(sim, pool, instrument=False):
+    """An M/M/c-style open queue: Poisson-ish arrivals into a pool."""
+
+    def request(sim, index):
+        if instrument:
+            with sim.span("bench.request", subsystem="bench"):
+                yield pool.acquire()
+                yield sim.timeout(0.001 + (index % 7) * 0.0001)
+                pool.release()
+        else:
+            yield pool.acquire()
+            yield sim.timeout(0.001 + (index % 7) * 0.0001)
+            pool.release()
+
+    def source(sim):
+        for index in range(N_REQUESTS):
+            sim.spawn(request(sim, index))
+            yield sim.timeout(0.0005)
+
+    sim.spawn(source(sim))
+    sim.run()
+    return sim.now
+
+
+def _run_reference():
+    sim = _RefSimulator()
+    return _drive(sim, _RefResource(sim, POOL_SIZE))
+
+
+def _run_disabled():
+    sim = Simulator()
+    return _drive(sim, Resource(sim, capacity=POOL_SIZE))
+
+
+def _run_enabled():
+    observability = Observability()
+    sim = Simulator(observability=observability)
+    pool = Resource(sim, capacity=POOL_SIZE, name="bench.pool")
+    _drive(sim, pool, instrument=True)
+    return observability
+
+
+def _paired_ratios(baseline, candidate, rounds=15):
+    """Per-round candidate/baseline wall-time ratios, interleaved.
+
+    Pairing each candidate run with an immediately preceding baseline
+    run makes the ratio robust to machine-load drift; the median of the
+    pairs discards the outlier rounds entirely.
+    """
+    baseline()
+    candidate()  # warmup
+    ratios = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        baseline()
+        base_s = time.perf_counter() - start
+        start = time.perf_counter()
+        candidate()
+        ratios.append((time.perf_counter() - start) / base_s)
+    ratios.sort()
+    return ratios
+
+
+def test_bench_disabled_overhead_within_budget(benchmark):
+    """The X10 gate: disabled observability costs <10% vs the reference."""
+    # Identical virtual outcomes first: same model, same clock.
+    assert _run_disabled() == _run_reference()
+    ratios = _paired_ratios(_run_reference, _run_disabled)
+    median = ratios[len(ratios) // 2]
+    enabled_ratios = _paired_ratios(
+        _run_reference, lambda: _run_enabled() and None, rounds=5
+    )
+    benchmark(_run_disabled)
+    rows = [
+        ["reference kernel", 1.0],
+        ["production, disabled", median],
+        ["production, enabled", enabled_ratios[len(enabled_ratios) // 2]],
+    ]
+    print()
+    print(render_table(
+        ["kernel", "vs reference (median of paired rounds)"], rows,
+        title=f"X10: event-loop overhead ({N_REQUESTS} requests, "
+              f"c={POOL_SIZE})",
+    ))
+    assert median < 1.10, (
+        f"disabled observability overhead {median:.3f}x "
+        "exceeds the 1.10x budget"
+    )
+
+
+def test_bench_enabled_run_records_everything(benchmark):
+    """Instrumented runs must cover spans, gauges and process stats."""
+    observability = benchmark(_run_enabled)
+    snapshot = observability.snapshot()
+    assert snapshot["spans"]["recorded"] == N_REQUESTS
+    assert snapshot["spans"]["open"] == 0
+    gauges = snapshot["gauges"]
+    assert gauges["bench.pool.in_use"]["max"] == POOL_SIZE
+    assert 0.0 < gauges["bench.pool.utilization"]["last"] <= 1.0
+    stats = snapshot["processes"]["request"]
+    assert stats["spawns"] == N_REQUESTS
+    assert stats["completions"] == N_REQUESTS
+    assert snapshot["steps_by_subsystem"]["bench"] > 0
+    hottest = snapshot["spans"]["hottest"]
+    assert hottest and hottest[0]["name"] == "bench.request"

@@ -6,6 +6,8 @@ Commands:
 - ``roadmap``      -- run the full roadmap pipeline, print the results.
 - ``findings``     -- generate the survey corpus, print the Key Findings.
 - ``experiments``  -- the experiment registry with paper anchors.
+- ``trace``        -- run one experiment instrumented; print the span /
+  metrics report and write ``trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -74,6 +76,25 @@ def _cmd_experiments() -> int:
     return 0
 
 
+def _cmd_trace(experiment_id, out_path) -> int:
+    from repro.reporting import (
+        render_trace_report,
+        run_trace,
+        traceable_experiments,
+    )
+
+    if experiment_id is None:
+        print("traceable experiments: "
+              f"{', '.join(traceable_experiments())}")
+        print("usage: python -m repro trace <experiment> [--out trace.jsonl]")
+        return 2
+    report = run_trace(experiment_id)
+    print(render_trace_report(report))
+    lines = report.write_jsonl(out_path)
+    print(f"\nwrote {lines} lines to {out_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -82,10 +103,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("summary", "roadmap", "findings", "experiments"),
-        help="what to print",
+        choices=("summary", "roadmap", "findings", "experiments", "trace"),
+        help="what to run",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id for the trace command (e.g. E2)",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="trace output path (trace command only)",
     )
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args.experiment, args.out)
     handlers = {
         "summary": _cmd_summary,
         "roadmap": _cmd_roadmap,

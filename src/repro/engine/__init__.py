@@ -4,10 +4,21 @@ The kernel follows the SimPy model: processes are generators yielding
 :class:`~repro.engine.sim.Event` objects; :class:`~repro.engine.sim.Simulator`
 owns the virtual clock. :mod:`~repro.engine.resources` adds counted
 resources, continuous containers and FIFO stores;
-:mod:`~repro.engine.trace` collects metrics; and
+:mod:`~repro.engine.trace` collects metric series;
+:mod:`~repro.engine.observability` adds span tracing, a metrics registry
+(counters/gauges/histograms) and engine hooks; and
 :mod:`~repro.engine.randomness` provides reproducible variate streams.
 """
 
+from repro.engine.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    Observability,
+    Registry,
+    Span,
+    SpanLog,
+)
 from repro.engine.randomness import RandomStream
 from repro.engine.resources import Container, Resource, Store
 from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator
@@ -20,13 +31,20 @@ from repro.engine.trace import (
 
 __all__ = [
     "Container",
+    "Counter",
     "Event",
+    "Gauge",
+    "Histogram",
     "Interrupt",
     "MetricSeries",
+    "Observability",
     "ProcessHandle",
     "RandomStream",
+    "Registry",
     "Resource",
     "Simulator",
+    "Span",
+    "SpanLog",
     "Store",
     "Tracer",
     "confidence_interval_95",

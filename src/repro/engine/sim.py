@@ -8,6 +8,12 @@ The kernel is deterministic: ties in event time are broken by a strictly
 increasing sequence number, so two runs with the same seed produce
 identical traces.
 
+Observability is opt-in: attach a
+:class:`~repro.engine.observability.Observability` (or pass it to the
+constructor) and ``sim.span(...)`` records spans, processes are
+accounted per name, and the ``on_event`` / ``on_process_error`` hooks
+fire. Without one, the extra cost is a few ``is None`` checks per event.
+
 Example
 -------
 >>> sim = Simulator()
@@ -28,7 +34,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import ProcessFailure, SimulationError
 
 #: Type alias for simulation processes.
 Process = Generator["Event", Any, Any]
@@ -39,9 +45,13 @@ class Event:
 
     An event starts *pending*, becomes *triggered* when given a value (or
     an exception), and notifies all registered callbacks exactly once.
+    A pending event may also be *cancelled* -- a hint to queue owners
+    (e.g. :class:`~repro.engine.resources.Resource`) that its waiter has
+    abandoned it and the grant should go to someone else.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception")
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -49,11 +59,17 @@ class Event:
         self._triggered = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
         """Whether the event has already fired."""
         return self._triggered
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was abandoned before firing."""
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -89,6 +105,17 @@ class Event:
         self._flush()
         return self
 
+    def cancel(self) -> None:
+        """Mark a still-pending event as abandoned by its waiter.
+
+        Cancelling an already-triggered event is a no-op. Queue owners
+        (resources, containers, stores) prune cancelled events instead
+        of granting to them, which prevents capacity leaking to waiters
+        whose process was interrupted.
+        """
+        if not self._triggered:
+            self._cancelled = True
+
     def _flush(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
@@ -103,30 +130,79 @@ class ProcessHandle(Event):
     wait on each other: ``yield sim.spawn(child(sim))``.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "spawned_at",
+                 "finished_at", "steps")
 
     def __init__(self, sim: "Simulator", generator: Process, name: str = "") -> None:
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self.spawned_at = sim.now
+        self.finished_at: Optional[float] = None
+        self.steps = 0
+
+    def lifetime(self) -> Optional[float]:
+        """Virtual time from spawn to completion (``None`` while running)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.spawned_at
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the handle with the process's return value."""
+        self.finished_at = self.sim.now
+        return super().succeed(value)
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the handle with the exception that killed the process."""
+        self.finished_at = self.sim.now
+        return super().fail(exception)
 
     def _step(self, fired: Optional[Event]) -> None:
-        """Advance the generator by one yield."""
+        """Advance the generator by one yield.
+
+        The uninstrumented path is kept branch-identical to a bare
+        kernel -- one attribute load and ``is None`` test -- so disabled
+        observability stays within the X10 overhead budget.
+        """
         if self._triggered:
             return  # process already finished (e.g. via interrupt)
         if fired is not None and fired is not self._waiting_on:
             return  # stale wakeup from an event abandoned after an interrupt
         self._waiting_on = None
-        try:
-            if fired is not None and fired._exception is not None:
-                target = self.generator.throw(fired._exception)
-            else:
-                send_value = fired._value if fired is not None else None
-                target = self.generator.send(send_value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
+        sim = self.sim
+        observability = sim.observability
+        if observability is None:
+            try:
+                if fired is not None and fired._exception is not None:
+                    target = self.generator.throw(fired._exception)
+                else:
+                    send_value = fired._value if fired is not None else None
+                    target = self.generator.send(send_value)
+            except StopIteration as stop:
+                self.finished_at = sim._now
+                Event.succeed(self, stop.value)
+                return
+            except Exception as exc:
+                self._crash(exc)
+                return
+        else:
+            observability._note_step(self)
+            sim._active_process = self
+            try:
+                if fired is not None and fired._exception is not None:
+                    target = self.generator.throw(fired._exception)
+                else:
+                    send_value = fired._value if fired is not None else None
+                    target = self.generator.send(send_value)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+            except Exception as exc:
+                self._crash(exc)
+                return
+            finally:
+                sim._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, "
@@ -134,6 +210,36 @@ class ProcessHandle(Event):
             )
         self._waiting_on = target
         target.add_callback(self._step)
+
+    def _finish(self, value: Any) -> None:
+        """Record normal completion and fire the handle."""
+        self.succeed(value)
+        observability = self.sim.observability
+        if observability is not None:
+            observability._note_process_end(self)
+
+    def _crash(self, exc: BaseException) -> None:
+        """Handle an exception that escaped the generator.
+
+        Routes through the simulator's ``on_process_error`` hook; if the
+        hook returns truthy the process terminates failed and the run
+        continues, otherwise a :class:`~repro.errors.ProcessFailure`
+        carrying the process name and virtual time propagates out of
+        :meth:`Simulator.run`.
+        """
+        sim = self.sim
+        observability = sim.observability
+        if observability is not None:
+            observability._note_process_error(self, exc)
+        hook = sim.on_process_error
+        if hook is not None and hook(self, exc):
+            self.fail(exc)
+            return
+        raise ProcessFailure(
+            f"process {self.name!r} failed at t={sim.now:g}: {exc!r}",
+            process_name=self.name,
+            sim_time=sim.now,
+        ) from exc
 
     def interrupt(self, cause: Any = None) -> None:
         """Raise :class:`Interrupt` inside the process at the current time."""
@@ -144,16 +250,36 @@ class ProcessHandle(Event):
     def _deliver_interrupt(self, cause: Any) -> None:
         if self._triggered:
             return
+        abandoned = self._waiting_on
         self._waiting_on = None  # abandon whatever we were waiting on
+        if (
+            abandoned is not None
+            and not abandoned.triggered
+            and not isinstance(abandoned, ProcessHandle)
+        ):
+            # Dead waiter: let resource queues skip it instead of
+            # granting capacity to a process that will never take it.
+            abandoned.cancel()
+        sim = self.sim
+        observability = sim.observability
+        if observability is not None:
+            observability._note_step(self)
+        previous = sim._active_process
+        sim._active_process = self
         try:
             target = self.generator.throw(Interrupt(cause))
         except StopIteration as stop:
-            self.succeed(stop.value)
+            self._finish(stop.value)
             return
         except Interrupt:
             # Process chose not to handle the interrupt: it terminates.
-            self.succeed(None)
+            self._finish(None)
             return
+        except Exception as exc:
+            self._crash(exc)
+            return
+        finally:
+            sim._active_process = previous
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__} "
@@ -171,6 +297,21 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _NullSpan:
+    """No-op context manager returned by ``sim.span`` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class Simulator:
     """Event loop owning the virtual clock.
 
@@ -178,13 +319,37 @@ class Simulator:
     ----------
     start:
         Initial value of the clock (defaults to ``0.0``).
+    observability:
+        Optional :class:`~repro.engine.observability.Observability` to
+        attach; equivalent to calling ``observability.attach(sim)``.
+
+    Attributes
+    ----------
+    on_event:
+        Optional hook ``(when, call) -> None`` invoked before every
+        scheduled callback executes. Sampled once when :meth:`run`
+        starts, so set it before running.
+    on_process_error:
+        Optional hook ``(handle, exc) -> bool`` invoked when an
+        exception escapes a process generator; return truthy to mark the
+        failure handled (the process terminates failed, the run
+        continues) instead of aborting the run with
+        :class:`~repro.errors.ProcessFailure`.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, observability: Any = None) -> None:
         self._now = float(start)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._event_count = 0
+        self.observability: Any = None
+        self.on_event: Optional[Callable[[float, Callable[[], None]], None]] = None
+        self.on_process_error: Optional[
+            Callable[[ProcessHandle, BaseException], bool]
+        ] = None
+        self._active_process: Optional[ProcessHandle] = None
+        if observability is not None:
+            observability.attach(self)
 
     @property
     def now(self) -> float:
@@ -195,6 +360,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of scheduled callbacks executed so far."""
         return self._event_count
+
+    @property
+    def active_process(self) -> Optional[ProcessHandle]:
+        """The process currently being stepped (``None`` between steps)."""
+        return self._active_process
 
     # -- scheduling primitives -------------------------------------------
 
@@ -228,10 +398,24 @@ class Simulator:
         self._schedule_call(lambda: handle._step(None))
         return handle
 
+    def span(self, name: str, **tags: Any):
+        """A context manager tracing a span of virtual time.
+
+        With no attached observability this returns a shared no-op
+        context manager, so instrumented model code costs almost nothing
+        when tracing is disabled.
+        """
+        observability = self.observability
+        if observability is None:
+            return _NULL_SPAN
+        return observability.span(name, **tags)
+
     def all_of(self, events: Iterable[Event]) -> Event:
         """An event firing when *all* of ``events`` have fired.
 
-        Fires with the list of individual values, in input order.
+        Fires with the list of individual values, in input order. If any
+        input fails, the gate fails with the *first* failure instead of
+        silently succeeding without it.
         """
         pending = list(events)
         gate = Event(self)
@@ -243,9 +427,14 @@ class Simulator:
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def on_fire(evt: Event) -> None:
+                if gate.triggered:
+                    return
+                if evt._exception is not None:
+                    gate.fail(evt._exception)
+                    return
                 values[index] = evt.value
                 remaining["count"] -= 1
-                if remaining["count"] == 0 and not gate.triggered:
+                if remaining["count"] == 0:
                     gate.succeed(list(values))
 
             return on_fire
@@ -257,7 +446,8 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> Event:
         """An event firing when the *first* of ``events`` fires.
 
-        Fires with a ``(index, value)`` tuple for the winner.
+        Fires with a ``(index, value)`` tuple for the winner; if the
+        first event to fire failed, the gate fails with its exception.
         """
         pending = list(events)
         if not pending:
@@ -266,7 +456,11 @@ class Simulator:
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def on_fire(evt: Event) -> None:
-                if not gate.triggered:
+                if gate.triggered:
+                    return
+                if evt._exception is not None:
+                    gate.fail(evt._exception)
+                else:
                     gate.succeed((index, evt.value))
 
             return on_fire
@@ -280,14 +474,18 @@ class Simulator:
 
         Returns the final clock value.
         """
-        while self._queue:
-            when, _seq, call = self._queue[0]
+        queue = self._queue
+        on_event = self.on_event  # read once; set hooks before run()
+        while queue:
+            when, _seq, call = queue[0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
+            heapq.heappop(queue)
             self._now = when
             self._event_count += 1
+            if on_event is not None:
+                on_event(when, call)
             call()
         if until is not None and until > self._now:
             self._now = until

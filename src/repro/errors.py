@@ -11,6 +11,22 @@ class SimulationError(ReproError):
     """Raised when the discrete-event simulation reaches an invalid state."""
 
 
+class ProcessFailure(SimulationError):
+    """An exception escaped a simulation process generator.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    context the raw traceback loses: which process crashed and at what
+    virtual time.
+    """
+
+    def __init__(
+        self, message: str, process_name: str = "", sim_time: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.process_name = process_name
+        self.sim_time = sim_time
+
+
 class TopologyError(ReproError):
     """Raised for malformed network topologies or unroutable paths."""
 

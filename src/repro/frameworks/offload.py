@@ -7,13 +7,20 @@ which of a server's devices runs the operator. Policies:
 - ``greedy_time``: fastest device for the batch (includes launch
   overhead, so small batches stay on the CPU).
 - ``greedy_energy``: lowest-energy device.
+
+Policies are observable: construct one with a
+:class:`~repro.engine.Registry` and every placement decision is counted
+per device and per block, which is how E11 trace runs attribute operator
+work to silicon.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analytics.blocks import BlockRegistry, BuildingBlock
+from repro.engine import Registry
 from repro.errors import ModelError, SchedulingError
 from repro.node.device import ComputeDevice
 from repro.node.server import Server
@@ -24,6 +31,7 @@ class OffloadPolicy:
     """A named device-selection rule."""
 
     name: str
+    registry: Optional[Registry] = field(default=None, compare=False)
 
     VALID = ("cpu_only", "greedy_time", "greedy_energy")
 
@@ -40,7 +48,7 @@ class OffloadPolicy:
         if n_records < 1:
             raise SchedulingError("need at least one record")
         if self.name == "cpu_only":
-            return server.cpu
+            return self._chosen(block, server.cpu, n_records)
         candidates = [d for d in server.devices if block.runs_on(d)]
         if not candidates:
             raise SchedulingError(
@@ -51,20 +59,38 @@ class OffloadPolicy:
             return block.time_s(device, n_records)
 
         if self.name == "greedy_time":
-            return min(candidates, key=lambda d: (time_of(d), d.name))
-        return min(candidates, key=lambda d: (time_of(d) * d.tdp_w, d.name))
+            choice = min(candidates, key=lambda d: (time_of(d), d.name))
+        else:
+            choice = min(
+                candidates, key=lambda d: (time_of(d) * d.tdp_w, d.name)
+            )
+        return self._chosen(block, choice, n_records)
+
+    def _chosen(
+        self, block: BuildingBlock, device: ComputeDevice, n_records: int
+    ) -> ComputeDevice:
+        """Count the placement decision when a registry is attached."""
+        if self.registry is not None:
+            self.registry.counter(f"offload.{self.name}.decisions").inc()
+            self.registry.counter(
+                f"offload.{self.name}.device.{device.kind.value}"
+            ).inc()
+            self.registry.counter(
+                f"offload.{self.name}.records.{block.name}"
+            ).inc(n_records)
+        return device
 
 
-def cpu_only() -> OffloadPolicy:
+def cpu_only(registry: Optional[Registry] = None) -> OffloadPolicy:
     """The no-accelerator baseline policy."""
-    return OffloadPolicy("cpu_only")
+    return OffloadPolicy("cpu_only", registry=registry)
 
 
-def greedy_time() -> OffloadPolicy:
+def greedy_time(registry: Optional[Registry] = None) -> OffloadPolicy:
     """Minimize wall-clock per operator batch."""
-    return OffloadPolicy("greedy_time")
+    return OffloadPolicy("greedy_time", registry=registry)
 
 
-def greedy_energy() -> OffloadPolicy:
+def greedy_energy(registry: Optional[Registry] = None) -> OffloadPolicy:
     """Minimize energy per operator batch."""
-    return OffloadPolicy("greedy_energy")
+    return OffloadPolicy("greedy_energy", registry=registry)

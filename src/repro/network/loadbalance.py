@@ -10,8 +10,9 @@ ECMP path set, so the comparison isolates the *selection* policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine import Observability
 from repro.errors import TopologyError
 from repro.network.flows import Flow, FlowSimulator
 from repro.network.routing import ecmp_paths, path_links
@@ -91,12 +92,52 @@ class AssignmentComparison:
         return self.ecmp_completion_s / self.least_loaded_completion_s
 
 
+def _record_flows(
+    observability: Optional[Observability],
+    flows: List[Flow],
+    imbalance: float,
+    policy: str,
+) -> None:
+    """Publish per-flow spans and balance gauges for one assigner run."""
+    if observability is None:
+        return
+    last_finish = 0.0
+    for flow in flows:
+        finish = flow.finish_s if flow.finish_s is not None else flow.start_s
+        last_finish = max(last_finish, finish)
+        observability.spans.record(
+            f"flow.{policy}",
+            flow.start_s,
+            finish,
+            tags={
+                "subsystem": "network.loadbalance",
+                "flow": str(flow.flow_id),
+                "src": flow.src,
+                "dst": flow.dst,
+                "policy": policy,
+            },
+        )
+        observability.registry.histogram(f"loadbalance.fct_s.{policy}").observe(
+            max(finish - flow.start_s, 1e-12)
+        )
+    registry = observability.registry
+    registry.counter(f"loadbalance.flows.{policy}").inc(len(flows))
+    registry.gauge(f"loadbalance.imbalance.{policy}").set(
+        last_finish, imbalance
+    )
+
+
 def compare_assignment_policies(
-    fabric: Fabric, flow_specs: List[Tuple[str, str, float]]
+    fabric: Fabric,
+    flow_specs: List[Tuple[str, str, float]],
+    observability: Optional[Observability] = None,
 ) -> AssignmentComparison:
     """Run the same flow set under both assigners.
 
-    ``flow_specs`` is a list of (src, dst, size_bytes).
+    ``flow_specs`` is a list of (src, dst, size_bytes). With an
+    :class:`~repro.engine.Observability` attached, each run emits one
+    span per flow plus flow-completion-time histograms and imbalance
+    gauges, keyed by policy.
     """
     if not flow_specs:
         raise TopologyError("need at least one flow")
@@ -111,11 +152,13 @@ def compare_assignment_policies(
     assign_paths_ecmp(fabric, ecmp_flows)
     ecmp_imbalance = load_imbalance(fabric, ecmp_flows)
     FlowSimulator(fabric, assign_paths=False).run(ecmp_flows)
+    _record_flows(observability, ecmp_flows, ecmp_imbalance, "ecmp")
 
     ll_flows = build()
     assign_paths_least_loaded(fabric, ll_flows)
     ll_imbalance = load_imbalance(fabric, ll_flows)
     FlowSimulator(fabric, assign_paths=False).run(ll_flows)
+    _record_flows(observability, ll_flows, ll_imbalance, "least_loaded")
 
     return AssignmentComparison(
         ecmp_completion_s=max(f.finish_s for f in ecmp_flows),

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.econ.cost import EnergyPrice, TcoBreakdown
+from repro.engine import Registry
 from repro.errors import ModelError
 
 
@@ -170,21 +171,35 @@ def fleet_tco_usd(
     horizon_years: float = 5.0,
     energy: EnergyPrice = EnergyPrice(),
     inhouse_nos_team_usd_per_year: float = 2_000_000.0,
+    registry: Optional[Registry] = None,
 ) -> float:
     """Total fleet cost; in-house NOS engineering amortizes across the fleet.
 
     The crossover this produces is the paper's point: bare metal only
     pays off for operators with enough switches to amortize a NOS team
-    -- hyperscalers, not SMEs.
+    -- hyperscalers, not SMEs. Passing a
+    :class:`~repro.engine.Registry` publishes per-line-item cost
+    counters and a per-switch-TCO histogram keyed by switch name.
     """
     if fleet_size < 1:
         raise ModelError("fleet must have at least one switch")
     per_switch_engineering = 0.0
     if switch.nos.name == "in-house":
         per_switch_engineering = inhouse_nos_team_usd_per_year / fleet_size
-    per_switch = switch.tco(
+    breakdown = switch.tco(
         horizon_years,
         energy=energy,
         nos_engineering_usd_per_year=per_switch_engineering,
-    ).total_usd
+    )
+    per_switch = breakdown.total_usd
+    if registry is not None:
+        registry.counter(f"switch.{switch.name}.fleet_evaluations").inc()
+        for label, amount in breakdown.by_label().items():
+            if amount > 0:
+                registry.counter(
+                    f"switch.{switch.name}.usd.{label}"
+                ).inc(amount * fleet_size)
+        registry.histogram(f"switch.{switch.name}.per_switch_tco_usd").observe(
+            per_switch
+        )
     return per_switch * fleet_size

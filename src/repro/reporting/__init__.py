@@ -1,4 +1,4 @@
-"""Reporting: ASCII tables and the experiment registry."""
+"""Reporting: ASCII tables, the experiment registry, and trace runs."""
 
 from repro.reporting.experiments import (
     EXPERIMENTS,
@@ -7,13 +7,25 @@ from repro.reporting.experiments import (
     registry,
 )
 from repro.reporting.tables import format_value, render_records, render_table
+from repro.reporting.traces import (
+    TRACE_RUNNERS,
+    TraceReport,
+    render_trace_report,
+    run_trace,
+    traceable_experiments,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
+    "TRACE_RUNNERS",
+    "TraceReport",
     "format_value",
     "get_experiment",
     "registry",
     "render_records",
     "render_table",
+    "render_trace_report",
+    "run_trace",
+    "traceable_experiments",
 ]

@@ -218,6 +218,13 @@ EXPERIMENTS: List[Experiment] = [
         ("repro.core.scenarios",),
         "benchmarks/test_bench_scenarios.py",
     ),
+    Experiment(
+        "X10", "methodology (engine observability)",
+        "Span tracing and metrics make instrumented runs inspectable at <10% disabled-path overhead",
+        "disabled-observability event loop within 1.1x of an uninstrumented kernel; enabled runs record spans for every stage",
+        ("repro.engine.observability", "repro.reporting.traces"),
+        "benchmarks/test_bench_observability.py",
+    ),
 ]
 
 

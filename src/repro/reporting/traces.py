@@ -1,0 +1,322 @@
+"""Instrumented experiment runs: ``python -m repro trace <experiment>``.
+
+Re-runs a registered experiment with an
+:class:`~repro.engine.Observability` attached, then renders a run
+report -- a per-subsystem breakdown (span counts, span time, engine
+event steps), the hottest spans, and the metric registry snapshot --
+and can export the span buffer as ``trace.jsonl``.
+
+Only experiments whose modules are wired for observability are
+traceable; see :data:`TRACE_RUNNERS`. Each runner uses a deliberately
+modest problem size: the point of a trace run is instrumentation
+coverage, not statistical power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.engine import Observability
+from repro.errors import RegistryError
+from repro.reporting.experiments import get_experiment
+from repro.reporting.tables import render_table
+
+
+@dataclass
+class TraceReport:
+    """The artifacts of one instrumented experiment run."""
+
+    experiment_id: str
+    observability: Observability
+    headline: Dict[str, Any] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The run's full metrics/span snapshot (plain dicts)."""
+        return self.observability.snapshot()
+
+    def write_jsonl(self, path: str) -> int:
+        """Export the span buffer to ``path``; returns lines written.
+
+        The first line is a header object carrying the experiment id
+        and run totals, so a trace file is self-describing.
+        """
+        snapshot = self.snapshot()
+        header = {
+            "experiment": self.experiment_id,
+            "spans_recorded": snapshot["spans"]["recorded"],
+            "spans_dropped": snapshot["spans"]["dropped"],
+            "events_processed": snapshot.get("events_processed", 0),
+            "sim_time": snapshot.get("sim_time", 0.0),
+        }
+        return self.observability.export_jsonl(path, header=header)
+
+
+def _trace_e2(observability: Observability) -> Dict[str, Any]:
+    """E2: accelerated search-ranking service (DES spans + pool gauges)."""
+    from repro.workloads.search import run_search_service
+
+    result = run_search_service(
+        qps=3_000.0,
+        n_requests=3_000,
+        accelerated=True,
+        observability=observability,
+    )
+    return {
+        "qps": result.qps,
+        "requests": len(result.latencies_s),
+        "p50_s": result.p50_s,
+        "p99_s": result.p99_s,
+    }
+
+
+def _trace_e6(observability: Observability) -> Dict[str, Any]:
+    """E6: switch-fleet TCO sweep (cost counters and histograms)."""
+    from repro.network.switch import (
+        bare_metal_switch,
+        branded_switch,
+        fleet_tco_usd,
+        white_box_switch,
+    )
+
+    registry = observability.registry
+    switches = (branded_switch(), white_box_switch(), bare_metal_switch())
+    headline: Dict[str, Any] = {}
+    for fleet_size in (100, 1_000, 10_000):
+        for switch in switches:
+            total = fleet_tco_usd(switch, fleet_size, registry=registry)
+            if fleet_size == 1_000:
+                headline[f"tco_usd_1k.{switch.name}"] = total
+    return headline
+
+
+def _trace_e11(observability: Observability) -> Dict[str, Any]:
+    """E11: offloaded pipeline (placement counters + stage spans)."""
+    from repro.cluster import uniform_cluster
+    from repro.frameworks import (
+        BatchExecutor,
+        PartitionedDataset,
+        Plan,
+        cpu_only,
+        greedy_time,
+    )
+    from repro.network import leaf_spine
+    from repro.node import accelerated_server, arria10_fpga, xeon_e5
+    from repro.workloads import zipf_documents
+
+    cluster = uniform_cluster(
+        leaf_spine(2, 2, 2),
+        lambda: accelerated_server(xeon_e5(), arria10_fpga()),
+    )
+    docs = zipf_documents(2_000, 40, seed=3)
+    dataset = PartitionedDataset.from_records(docs, 8, record_bytes=240)
+    plan = (
+        Plan.source()
+        .map(lambda s: s, block="regex-extract", label="extract")
+        .filter(lambda s: "data" in s, block="filter-scan", label="select")
+        .map(lambda s: (s.split()[0], 1), block="filter-scan", label="pair")
+        .reduce_by_key(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]),
+                       label="aggregate")
+    )
+    headline: Dict[str, Any] = {}
+    for policy_name, factory in (("cpu_only", cpu_only),
+                                 ("greedy_time", greedy_time)):
+        policy = factory(registry=observability.registry)
+        result = BatchExecutor(cluster, policy=policy).run(plan, dataset)
+        headline[f"sim_time_s.{policy_name}"] = result.sim_time_s
+        # Stages execute back to back; lay their compute/shuffle phases
+        # out on that timeline so the trace shows the BSP structure.
+        clock = 0.0
+        for stage in result.stages:
+            tags = {
+                "subsystem": "frameworks.batch",
+                "policy": policy_name,
+                "operators": "+".join(stage.operator_labels),
+            }
+            observability.spans.record(
+                f"stage{stage.stage_index}.compute",
+                clock, clock + stage.compute_time_s, tags=tags,
+            )
+            clock += stage.compute_time_s
+            if stage.shuffle_time_s > 0:
+                observability.spans.record(
+                    f"stage{stage.stage_index}.shuffle",
+                    clock, clock + stage.shuffle_time_s, tags=tags,
+                )
+                clock += stage.shuffle_time_s
+    headline["gain"] = (
+        headline["sim_time_s.cpu_only"] / headline["sim_time_s.greedy_time"]
+    )
+    return headline
+
+
+def _trace_x2(observability: Observability) -> Dict[str, Any]:
+    """X2: online allocation policies (task spans + completion histograms)."""
+    from repro.node import arria10_fpga, nvidia_k80, xeon_e5
+    from repro.scheduler import (
+        Executor,
+        OnlineScheduler,
+        chain_job,
+        poisson_job_stream,
+    )
+
+    scheduler = OnlineScheduler(
+        [
+            Executor("cpu0", "hA", xeon_e5()),
+            Executor("cpu1", "hB", xeon_e5()),
+            Executor("gpu0", "hA", nvidia_k80()),
+            Executor("fpga0", "hB", arria10_fpga()),
+        ],
+        observability=observability,
+    )
+    stream = poisson_job_stream(
+        10,
+        0.002,
+        job_factory=lambda i: chain_job(
+            f"job{i}",
+            ["filter-scan", "dense-gemm", "hash-aggregate"],
+            1_000_000,
+        ),
+        seed=21,
+    )
+    exclusive = scheduler.run_exclusive(stream)
+    shared = scheduler.run_shared(stream)
+    return {
+        "exclusive_mct_s": exclusive.mean_completion_time_s,
+        "shared_mct_s": shared.mean_completion_time_s,
+        "gain": (
+            exclusive.mean_completion_time_s / shared.mean_completion_time_s
+        ),
+    }
+
+
+def _trace_x7(observability: Observability) -> Dict[str, Any]:
+    """X7: ECMP vs least-loaded placement (per-flow spans + imbalance)."""
+    from repro import units
+    from repro.network import compare_assignment_policies, fat_tree
+
+    fabric = fat_tree(4)
+    hosts = fabric.hosts
+    half = len(hosts) // 2
+    specs = [
+        (hosts[i], hosts[half + i], 250 * units.MB) for i in range(8)
+    ]
+    comparison = compare_assignment_policies(
+        fabric, specs, observability=observability
+    )
+    return {
+        "ecmp_completion_s": comparison.ecmp_completion_s,
+        "least_loaded_completion_s": comparison.least_loaded_completion_s,
+        "speedup": comparison.speedup,
+        "ecmp_imbalance": comparison.ecmp_imbalance,
+        "least_loaded_imbalance": comparison.least_loaded_imbalance,
+    }
+
+
+#: Experiment id -> runner producing headline numbers under instrumentation.
+TRACE_RUNNERS: Dict[str, Callable[[Observability], Dict[str, Any]]] = {
+    "E2": _trace_e2,
+    "E6": _trace_e6,
+    "E11": _trace_e11,
+    "X2": _trace_x2,
+    "X7": _trace_x7,
+}
+
+
+def traceable_experiments() -> List[str]:
+    """Ids of experiments wired for instrumented runs, sorted."""
+    return sorted(TRACE_RUNNERS)
+
+
+def run_trace(experiment_id: str) -> TraceReport:
+    """Run ``experiment_id`` instrumented; raises for untraceable ids."""
+    experiment = get_experiment(experiment_id)  # validates the id
+    runner = TRACE_RUNNERS.get(experiment.experiment_id)
+    if runner is None:
+        raise RegistryError(
+            f"experiment {experiment_id!r} is not traceable; "
+            f"choose from {traceable_experiments()}"
+        )
+    observability = Observability()
+    headline = runner(observability)
+    return TraceReport(
+        experiment_id=experiment.experiment_id,
+        observability=observability,
+        headline=headline,
+    )
+
+
+def render_trace_report(report: TraceReport) -> str:
+    """The run report: subsystems, hottest spans, metrics, headline."""
+    experiment = get_experiment(report.experiment_id)
+    snapshot = report.snapshot()
+    parts: List[str] = [
+        f"trace: {experiment.experiment_id} ({experiment.paper_anchor}) "
+        f"-- {experiment.claim}",
+    ]
+
+    by_subsystem = report.observability.spans.by_tag(
+        "subsystem", default="(untagged)"
+    )
+    steps = snapshot["steps_by_subsystem"]
+    names = sorted(set(by_subsystem) | set(steps))
+    if names:
+        total_time = sum(total for _, total in by_subsystem.values()) or 1.0
+        rows = []
+        for name in names:
+            count, span_time = by_subsystem.get(name, (0, 0.0))
+            rows.append([
+                name, count, span_time, steps.get(name, 0),
+                span_time / total_time,
+            ])
+        parts.append(render_table(
+            ["subsystem", "spans", "span time (s)", "event steps", "share"],
+            rows, title="per-subsystem breakdown",
+        ))
+
+    hottest = snapshot["spans"]["hottest"]
+    if hottest:
+        rows = [
+            [h["name"], h["count"], h["total"], h["total"] / h["count"]]
+            for h in hottest
+        ]
+        parts.append(render_table(
+            ["span", "count", "total (s)", "mean (s)"], rows,
+            title="hottest spans (top 5 by total time)",
+        ))
+
+    if snapshot["counters"]:
+        rows = [[name, value] for name, value in snapshot["counters"].items()]
+        parts.append(render_table(["counter", "value"], rows,
+                                  title="counters"))
+    if snapshot["gauges"]:
+        rows = [
+            [name, stats["last"], stats["mean"], stats["max"]]
+            for name, stats in snapshot["gauges"].items()
+        ]
+        parts.append(render_table(["gauge", "last", "mean", "max"], rows,
+                                  title="gauges (time-weighted)"))
+    if snapshot["histograms"]:
+        rows = [
+            [name, stats["count"], stats["mean"], stats["p50"], stats["p99"]]
+            for name, stats in snapshot["histograms"].items()
+        ]
+        parts.append(render_table(
+            ["histogram", "count", "mean", "p50", "p99"], rows,
+            title="histograms",
+        ))
+
+    if report.headline:
+        rows = [[name, value] for name, value in report.headline.items()]
+        parts.append(render_table(["headline metric", "value"], rows,
+                                  title="experiment headline"))
+
+    totals = (
+        f"spans: {snapshot['spans']['recorded']} recorded, "
+        f"{snapshot['spans']['dropped']} dropped, "
+        f"{snapshot['spans']['open']} open | "
+        f"events: {snapshot.get('events_processed', 0)} | "
+        f"errors: {len(snapshot['errors'])}"
+    )
+    parts.append(totals)
+    return "\n\n".join(parts)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analytics.blocks import BlockRegistry, default_blocks
+from repro.engine import Observability
 from repro.errors import SchedulingError
 from repro.scheduler.hetero import Executor, _task_time, _transfer_time
 from repro.scheduler.task import Job
@@ -68,12 +69,14 @@ class OnlineScheduler:
         executors: List[Executor],
         blocks: Optional[BlockRegistry] = None,
         link_gbps: float = 10.0,
+        observability: Optional[Observability] = None,
     ) -> None:
         if not executors:
             raise SchedulingError("need at least one executor")
         self.executors = list(executors)
         self.blocks = blocks or default_blocks()
         self.link_gbps = link_gbps
+        self.observability = observability
 
     # -- policies -----------------------------------------------------------
 
@@ -87,10 +90,23 @@ class OnlineScheduler:
             job_finish = self._eft_makespan(online.job, base_time=start)
             completions[online.job.name] = job_finish
             pool_free_at = job_finish
-        return OnlineOutcome(
+            if self.observability is not None:
+                self.observability.spans.record(
+                    "exclusive.job",
+                    start,
+                    job_finish,
+                    tags={
+                        "subsystem": "scheduler.online",
+                        "job": online.job.name,
+                        "policy": "exclusive",
+                    },
+                )
+        outcome = OnlineOutcome(
             completions=completions,
             arrivals={o.job.name: o.arrival_s for o in ordered},
         )
+        self._record_outcome(outcome, policy="exclusive")
+        return outcome
 
     def run_shared(self, stream: List[OnlineJob]) -> OnlineOutcome:
         """Dynamic work-conserving allocation across concurrent jobs.
@@ -144,9 +160,39 @@ class OnlineScheduler:
             free_at[executor.name] = end
             finish[(job_name, task_id)] = (end, executor)
             completions[job_name] = max(completions.get(job_name, 0.0), end)
-        return OnlineOutcome(completions=completions, arrivals=arrivals)
+            if self.observability is not None:
+                self.observability.spans.record(
+                    f"task.{task.block}",
+                    _start,
+                    end,
+                    tags={
+                        "subsystem": "scheduler.online",
+                        "job": job_name,
+                        "task": task_id,
+                        "executor": executor.name,
+                        "policy": "shared",
+                    },
+                )
+                registry = self.observability.registry
+                registry.counter("scheduler.tasks_placed").inc()
+                registry.counter(f"scheduler.busy_s.{executor.name}").inc(
+                    end - _start
+                )
+        outcome = OnlineOutcome(completions=completions, arrivals=arrivals)
+        self._record_outcome(outcome, policy="shared")
+        return outcome
 
     # -- helpers ---------------------------------------------------------------
+
+    def _record_outcome(self, outcome: OnlineOutcome, policy: str) -> None:
+        """Publish per-job completion-time histograms for one policy run."""
+        if self.observability is None:
+            return
+        histogram = self.observability.registry.histogram(
+            f"scheduler.completion_s.{policy}"
+        )
+        for name, finish_s in outcome.completions.items():
+            histogram.observe(finish_s - outcome.arrivals[name])
 
     def _validated(self, stream: List[OnlineJob]) -> List[OnlineJob]:
         if not stream:

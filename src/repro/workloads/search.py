@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.engine import RandomStream, Resource, Simulator
+from repro.engine import Observability, RandomStream, Resource, Simulator
 from repro.errors import ModelError
 
 
@@ -81,48 +81,74 @@ def run_search_service(
     accelerated: bool,
     config: SearchServiceConfig = SearchServiceConfig(),
     seed: int = 2016,
+    observability: Optional[Observability] = None,
 ) -> SearchRunResult:
-    """Simulate ``n_requests`` through the service at ``qps``."""
+    """Simulate ``n_requests`` through the service at ``qps``.
+
+    With an :class:`~repro.engine.Observability` attached the run emits
+    per-stage spans (request/frontend/rank), worker-pool gauges and a
+    latency histogram; without one the instrumentation is free.
+    """
     if qps <= 0:
         raise ModelError(f"qps must be positive, got {qps}")
     if n_requests < 1:
         raise ModelError("need at least one request")
-    sim = Simulator()
+    sim = Simulator(observability=observability)
     arrivals = RandomStream(seed, "arrivals")
     service = RandomStream(seed, "service")
-    cpu_pool = Resource(sim, capacity=config.n_cpu_workers)
-    fpga_pool = Resource(sim, capacity=config.fpga_pipeline_slots)
+    cpu_pool = Resource(
+        sim, capacity=config.n_cpu_workers, name="search.cpu_pool"
+    )
+    fpga_pool = Resource(
+        sim, capacity=config.fpga_pipeline_slots, name="search.fpga_pool"
+    )
     latencies: List[float] = []
 
     def request(sim, arrived_s: float):
-        yield cpu_pool.acquire()
-        yield sim.timeout(
-            service.lognormal(config.frontend_median_s, config.frontend_sigma)
-        )
-        if accelerated:
-            # Hand off to the FPGA and free the CPU worker immediately.
-            cpu_pool.release()
-            yield fpga_pool.acquire()
-            yield sim.timeout(
-                service.lognormal(config.fpga_rank_s, config.fpga_jitter_sigma)
-            )
-            fpga_pool.release()
-        else:
-            yield sim.timeout(
-                service.lognormal(config.cpu_rank_median_s, config.cpu_rank_sigma)
-            )
-            cpu_pool.release()
-        latencies.append(sim.now - arrived_s)
+        with sim.span("search.request", subsystem="workloads.search"):
+            yield cpu_pool.acquire()
+            with sim.span("search.frontend", subsystem="workloads.search"):
+                yield sim.timeout(
+                    service.lognormal(
+                        config.frontend_median_s, config.frontend_sigma
+                    )
+                )
+            if accelerated:
+                # Hand off to the FPGA and free the CPU worker immediately.
+                cpu_pool.release()
+                with sim.span("search.fpga_rank", subsystem="workloads.search"):
+                    yield fpga_pool.acquire()
+                    yield sim.timeout(
+                        service.lognormal(
+                            config.fpga_rank_s, config.fpga_jitter_sigma
+                        )
+                    )
+                    fpga_pool.release()
+            else:
+                with sim.span("search.cpu_rank", subsystem="workloads.search"):
+                    yield sim.timeout(
+                        service.lognormal(
+                            config.cpu_rank_median_s, config.cpu_rank_sigma
+                        )
+                    )
+                cpu_pool.release()
+            latencies.append(sim.now - arrived_s)
 
     def source(sim):
         for _ in range(n_requests):
-            sim.spawn(request(sim, sim.now))
+            sim.spawn(request(sim, sim.now), name="search.request")
             yield sim.timeout(arrivals.exponential(1.0 / qps))
 
-    sim.spawn(source(sim))
+    sim.spawn(source(sim), name="search.source")
     sim.run()
     if len(latencies) != n_requests:
         raise ModelError("not all requests completed")
+    if observability is not None:
+        registry = observability.registry
+        registry.counter("search.requests").inc(len(latencies))
+        histogram = registry.histogram("search.latency_s")
+        for latency in latencies:
+            histogram.observe(latency)
     return SearchRunResult(latencies, qps, accelerated)
 
 

@@ -190,6 +190,63 @@ class TestContainer:
         with pytest.raises(SimulationError):
             tank.get(-1.0)
 
+    def test_drain_interleaves_puts_and_gets_under_ceiling(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=10.0)
+        log = []
+
+        def producer(sim, tag, amount, arrive):
+            yield sim.timeout(arrive)
+            yield tank.put(amount)
+            log.append((sim.now, f"put-{tag}"))
+
+        def consumer(sim, amount, arrive):
+            yield sim.timeout(arrive)
+            yield tank.get(amount)
+            log.append((sim.now, f"got-{amount:g}"))
+
+        # Fill to the ceiling, then a second put must wait for a get,
+        # whose grant must in turn re-admit the blocked put -- each
+        # drain pass has to alternate between the two queues.
+        sim.spawn(producer(sim, "a", 10.0, 0.0))
+        sim.spawn(producer(sim, "b", 7.0, 1.0))
+        sim.spawn(consumer(sim, 8.0, 2.0))
+        sim.spawn(consumer(sim, 9.0, 3.0))
+        sim.spawn(producer(sim, "c", 6.0, 4.0))
+        sim.run()
+        # The blocked put is re-admitted in the same drain pass as the
+        # get that made room (both at t=2); the put's wakeup is already
+        # queued by the time the getter registers its own callback.
+        assert log == [
+            (0.0, "put-a"),
+            (2.0, "put-b"),
+            (2.0, "got-8"),
+            (3.0, "got-9"),
+            (4.0, "put-c"),
+        ]
+        assert tank.level == pytest.approx(6.0)
+
+    def test_drain_put_chain_released_by_single_large_get(self):
+        sim = Simulator()
+        tank = Container(sim, initial=4.0, capacity=4.0)
+        log = []
+
+        def producer(sim, amount):
+            yield tank.put(amount)
+            log.append((sim.now, amount))
+
+        def consumer(sim):
+            yield sim.timeout(1.0)
+            yield tank.get(4.0)
+
+        sim.spawn(producer(sim, 2.0))
+        sim.spawn(producer(sim, 2.0))
+        sim.spawn(consumer(sim))
+        sim.run()
+        # One drain pass admits both queued puts back to the ceiling.
+        assert log == [(1.0, 2.0), (1.0, 2.0)]
+        assert tank.level == pytest.approx(4.0)
+
 
 class TestStore:
     def test_fifo_item_order(self):

@@ -61,6 +61,32 @@ class TestMetricSeries:
         with pytest.raises(ValueError):
             series.time_weighted_mean(0.0)
 
+    def test_time_weighted_mean_sample_at_horizon_has_zero_weight(self):
+        series = MetricSeries("queue")
+        series.record(0.0, 2.0)
+        series.record(4.0, 100.0)  # lands exactly on the horizon
+        # The horizon sample covers an empty interval: (2*4 + 100*0) / 4.
+        assert series.time_weighted_mean(4.0) == pytest.approx(2.0)
+
+    def test_time_weighted_mean_sample_beyond_horizon_ignored(self):
+        series = MetricSeries("queue")
+        series.record(0.0, 2.0)
+        series.record(6.0, 100.0)
+        assert series.time_weighted_mean(4.0) == pytest.approx(2.0)
+
+    def test_time_weighted_mean_single_sample_spans_to_horizon(self):
+        series = MetricSeries("queue")
+        series.record(1.0, 4.0)
+        # 0 over [0,1], 4 over [1,2] -> 2
+        assert series.time_weighted_mean(2.0) == pytest.approx(2.0)
+
+    def test_time_weighted_mean_duplicate_timestamps(self):
+        series = MetricSeries("queue")
+        series.record(0.0, 1.0)
+        series.record(1.0, 10.0)  # superseded in the same instant...
+        series.record(1.0, 20.0)  # ...by this value, which holds [1, 2]
+        assert series.time_weighted_mean(2.0) == pytest.approx(10.5)
+
 
 class TestTracer:
     def test_metric_created_on_demand(self):
