@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone entry point for the pinned perf microbench suite.
+
+Equivalent to ``python -m repro perf``; kept under ``benchmarks/`` so the
+suite is discoverable next to the experiment benches. Runs each
+microbench on the production kernel and on the frozen pre-fast-path
+reference kernel, writes ``BENCH_engine.json`` / ``BENCH_network.json``,
+and with ``--check benchmarks/baselines`` fails on regression against
+the committed baselines.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,6 +8,10 @@ Commands:
 - ``experiments``  -- the experiment registry with paper anchors.
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
+- ``perf``         -- run the pinned perf microbenches (production
+  kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``
+  and ``BENCH_network.json``. Options: ``--out-dir``, ``--rounds``,
+  ``--quick``, ``--check <baseline dir>``.
 """
 
 from __future__ import annotations
@@ -97,13 +101,21 @@ def _cmd_trace(experiment_id, out_path) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perf":
+        # The perf suite owns its own options; hand the rest through.
+        from repro.perf import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="rethinkbig reproduction library CLI",
     )
     parser.add_argument(
         "command",
-        choices=("summary", "roadmap", "findings", "experiments", "trace"),
+        choices=("summary", "roadmap", "findings", "experiments", "trace",
+                 "perf"),
         help="what to run",
     )
     parser.add_argument(

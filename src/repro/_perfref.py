@@ -1,0 +1,471 @@
+"""Frozen pre-fast-path reference implementations for the perf harness.
+
+This module is a verbatim copy of the engine kernel (``engine/sim.py``,
+``engine/resources.py``) and flow solver (``network/flows.py``) as they
+stood *before* the fast-path overhaul: per-event ``Event`` + closure
+allocation in ``timeout()``, a fresh lambda per callback in
+``_schedule_call``/``_flush``, a callback *list* on every event, and a
+from-scratch pure-Python max-min re-solve per flow event.
+
+It exists so that:
+
+- the perf suite (:mod:`repro.perf`) can measure the production kernel
+  against the exact pre-change code on the same machine in the same
+  process, making the reported speedups ratios rather than wall-clock
+  absolutes (robust to machine differences, so CI can gate on them);
+- the determinism tests can assert that the fast-path kernel produces
+  *identical* simulation results to the original.
+
+Do not "improve" this module: its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import ProcessFailure, SimulationError, TopologyError
+from repro.network.routing import ecmp_path_for_flow, path_links
+from repro.network.topology import Fabric
+
+Process = Generator["Event", Any, Any]
+
+
+class Event:
+    """Pre-fast-path event: always carries a callback list."""
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception",
+                 "_cancelled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._cancelled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._exception = exception
+        self._flush()
+        return self
+
+    def cancel(self) -> None:
+        if not self._triggered:
+            self._cancelled = True
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_call(lambda cb=callback: cb(self))
+
+
+class ProcessHandle(Event):
+    """Pre-fast-path process handle (no cached bound step)."""
+
+    __slots__ = ("generator", "name", "_waiting_on", "spawned_at",
+                 "finished_at", "steps")
+
+    def __init__(self, sim: "Simulator", generator: Process,
+                 name: str = "") -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self.spawned_at = sim.now
+        self.finished_at: Optional[float] = None
+        self.steps = 0
+
+    def succeed(self, value: Any = None) -> "Event":
+        self.finished_at = self.sim.now
+        return super().succeed(value)
+
+    def fail(self, exception: BaseException) -> "Event":
+        self.finished_at = self.sim.now
+        return super().fail(exception)
+
+    def _step(self, fired: Optional[Event]) -> None:
+        if self._triggered:
+            return
+        if fired is not None and fired is not self._waiting_on:
+            return
+        self._waiting_on = None
+        sim = self.sim
+        observability = sim.observability
+        if observability is None:
+            try:
+                if fired is not None and fired._exception is not None:
+                    target = self.generator.throw(fired._exception)
+                else:
+                    send_value = fired._value if fired is not None else None
+                    target = self.generator.send(send_value)
+            except StopIteration as stop:
+                self.finished_at = sim._now
+                Event.succeed(self, stop.value)
+                return
+            except Exception as exc:
+                self._crash(exc)
+                return
+        else:
+            observability._note_step(self)
+            sim._active_process = self
+            try:
+                if fired is not None and fired._exception is not None:
+                    target = self.generator.throw(fired._exception)
+                else:
+                    send_value = fired._value if fired is not None else None
+                    target = self.generator.send(send_value)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+            except Exception as exc:
+                self._crash(exc)
+                return
+            finally:
+                sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+    def _finish(self, value: Any) -> None:
+        self.succeed(value)
+        observability = self.sim.observability
+        if observability is not None:
+            observability._note_process_end(self)
+
+    def _crash(self, exc: BaseException) -> None:
+        sim = self.sim
+        observability = sim.observability
+        if observability is not None:
+            observability._note_process_error(self, exc)
+        hook = sim.on_process_error
+        if hook is not None and hook(self, exc):
+            self.fail(exc)
+            return
+        raise ProcessFailure(
+            f"process {self.name!r} failed at t={sim.now:g}: {exc!r}",
+            process_name=self.name,
+            sim_time=sim.now,
+        ) from exc
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Simulator:
+    """Pre-fast-path event loop: ``(when, seq, thunk)`` heap entries."""
+
+    def __init__(self, start: float = 0.0, observability: Any = None) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._event_count = 0
+        self.observability: Any = None
+        self.on_event: Optional[Callable[[float, Any], None]] = None
+        self.on_process_error: Optional[
+            Callable[[ProcessHandle, BaseException], bool]
+        ] = None
+        self._active_process: Optional[ProcessHandle] = None
+        if observability is not None:
+            observability.attach(self)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    @property
+    def active_process(self) -> Optional[ProcessHandle]:
+        return self._active_process
+
+    def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), call))
+
+    def _schedule_call(self, call: Callable[[], None]) -> None:
+        self._schedule_at(self._now, call)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        evt = Event(self)
+        self._schedule_at(self._now + delay, lambda: evt.succeed(value))
+        return evt
+
+    def spawn(self, generator: Process, name: str = "") -> ProcessHandle:
+        handle = ProcessHandle(self, generator, name)
+        self._schedule_call(lambda: handle._step(None))
+        return handle
+
+    def span(self, name: str, **tags: Any):
+        observability = self.observability
+        if observability is None:
+            return _NULL_SPAN
+        return observability.span(name, **tags)
+
+    def run(self, until: Optional[float] = None) -> float:
+        queue = self._queue
+        on_event = self.on_event
+        while queue:
+            when, _seq, call = queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(queue)
+            self._now = when
+            self._event_count += 1
+            if on_event is not None:
+                on_event(when, call)
+            call()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        return self._queue[0][0] if self._queue else None
+
+
+class Resource:
+    """Pre-fast-path counted resource (events via ``sim.event()``)."""
+
+    def __init__(
+        self, sim: Simulator, capacity: int = 1, name: Optional[str] = None
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self._created = sim.now
+        self._busy_time = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for waiter in self._waiters if not waiter._cancelled)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def _publish(self) -> None:
+        if self.name is None:
+            return
+        observability = self.sim.observability
+        if observability is None:
+            return
+        now = self.sim.now
+        registry = observability.registry
+        registry.gauge(f"{self.name}.in_use").set(now, float(self._in_use))
+        registry.gauge(f"{self.name}.queue_length").set(
+            now, float(self.queue_length)
+        )
+        registry.gauge(f"{self.name}.utilization").set(now, self.utilization())
+
+    def utilization(self) -> float:
+        self._account()
+        elapsed = self.sim.now - self._created
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self.capacity)
+
+    def acquire(self) -> Event:
+        evt = self.sim.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            evt.succeed(self)
+        else:
+            self._waiters.append(evt)
+        if self.name is not None:
+            self._publish()
+        return evt
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without matching acquire")
+        self._account()
+        while self._waiters and self._waiters[0]._cancelled:
+            self._waiters.popleft()
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+        if self.name is not None:
+            self._publish()
+
+
+def reference_max_min_fair_rates(fabric: Fabric, flows: List[Any]) -> Dict[int, float]:
+    """Pre-change pure-Python progressive filling (from-scratch scan)."""
+    active: Dict[int, Any] = {}
+    for flow in flows:
+        if flow.path is None:
+            raise TopologyError(f"flow {flow.flow_id}: path not assigned")
+        active[flow.flow_id] = flow
+
+    remaining_capacity: Dict[Tuple[str, str], float] = {}
+    link_flows: Dict[Tuple[str, str], set] = {}
+    for flow in active.values():
+        for link in path_links(flow.path):
+            if link not in remaining_capacity:
+                a, b = link
+                remaining_capacity[link] = (
+                    fabric.link_rate_gbps(a, b) * 1e9 / 8.0
+                )
+                link_flows[link] = set()
+            link_flows[link].add(flow.flow_id)
+
+    rates: Dict[int, float] = {}
+    unfrozen = set(active)
+    while unfrozen:
+        best_link, best_share = None, float("inf")
+        for link, members in link_flows.items():
+            live = members & unfrozen
+            if not live:
+                continue
+            share = remaining_capacity[link] / len(live)
+            if share < best_share:
+                best_link, best_share = link, share
+        if best_link is None:
+            for fid in unfrozen:
+                rates[fid] = float("inf")
+            break
+        for fid in sorted(link_flows[best_link] & unfrozen):
+            rates[fid] = best_share
+            unfrozen.discard(fid)
+            for link in path_links(active[fid].path):
+                remaining_capacity[link] -= best_share
+                if remaining_capacity[link] < 0:
+                    remaining_capacity[link] = 0.0
+    return rates
+
+
+@dataclass
+class ReferenceFlowSimulator:
+    """Pre-change flow simulator: full Python re-solve at every event.
+
+    Operates on the production :class:`repro.network.flows.Flow` objects,
+    so results can be compared field-for-field with the incremental
+    solver.
+    """
+
+    fabric: Fabric
+    assign_paths: bool = True
+
+    def run(self, flows: List[Any]) -> List[Any]:
+        if not flows:
+            return []
+        for flow in flows:
+            if self.assign_paths and flow.path is None:
+                flow.path = ecmp_path_for_flow(
+                    self.fabric, flow.src, flow.dst, flow.flow_id
+                )
+            elif flow.path is None:
+                raise TopologyError(
+                    f"flow {flow.flow_id}: no path and path assignment disabled"
+                )
+
+        pending = sorted(flows, key=lambda f: (f.start_s, f.flow_id))
+        remaining: Dict[int, float] = {}
+        active: Dict[int, Any] = {}
+        now = 0.0
+        next_arrival = 0
+
+        while pending[next_arrival:] or active:
+            while next_arrival < len(pending) and (
+                not active or pending[next_arrival].start_s <= now
+            ):
+                flow = pending[next_arrival]
+                if flow.start_s > now:
+                    now = flow.start_s
+                active[flow.flow_id] = flow
+                remaining[flow.flow_id] = flow.size_bytes
+                next_arrival += 1
+
+            rates = reference_max_min_fair_rates(
+                self.fabric, list(active.values())
+            )
+
+            time_to_finish = min(
+                remaining[fid] / rates[fid] for fid in active
+            )
+            horizon = time_to_finish
+            if next_arrival < len(pending):
+                horizon = min(
+                    horizon, pending[next_arrival].start_s - now
+                )
+            horizon = max(horizon, 0.0)
+
+            for fid in list(active):
+                remaining[fid] -= rates[fid] * horizon
+            now += horizon
+
+            for fid in sorted(active):
+                if remaining[fid] <= 1e-6:
+                    active[fid].finish_s = now
+                    del active[fid]
+                    del remaining[fid]
+        return flows

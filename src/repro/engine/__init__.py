@@ -21,7 +21,7 @@ from repro.engine.observability import (
 )
 from repro.engine.randomness import RandomStream
 from repro.engine.resources import Container, Resource, Store
-from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator
+from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator, Timeout
 from repro.engine.trace import (
     MetricSeries,
     Tracer,
@@ -46,6 +46,7 @@ __all__ = [
     "Span",
     "SpanLog",
     "Store",
+    "Timeout",
     "Tracer",
     "confidence_interval_95",
     "summarize",

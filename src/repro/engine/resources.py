@@ -94,7 +94,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Request one server; the returned event fires when granted."""
-        evt = self.sim.event()
+        evt = Event(self.sim)
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1
@@ -164,7 +164,7 @@ class Container:
         """Add ``amount``; fires when it fits under the capacity ceiling."""
         if amount < 0:
             raise SimulationError(f"negative put: {amount}")
-        evt = self.sim.event()
+        evt = Event(self.sim)
         self._putters.append((amount, evt))
         self._drain()
         return evt
@@ -173,7 +173,7 @@ class Container:
         """Remove ``amount``; fires when available."""
         if amount < 0:
             raise SimulationError(f"negative get: {amount}")
-        evt = self.sim.event()
+        evt = Event(self.sim)
         self._getters.append((amount, evt))
         self._drain()
         return evt
@@ -247,14 +247,14 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; fires once it is accepted into the buffer."""
-        evt = self.sim.event()
+        evt = Event(self.sim)
         self._putters.append((item, evt))
         self._drain()
         return evt
 
     def get(self) -> Event:
         """Dequeue the oldest item; fires with the item."""
-        evt = self.sim.event()
+        evt = Event(self.sim)
         self._getters.append(evt)
         self._drain()
         return evt

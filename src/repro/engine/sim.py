@@ -8,6 +8,25 @@ The kernel is deterministic: ties in event time are broken by a strictly
 increasing sequence number, so two runs with the same seed produce
 identical traces.
 
+The event loop is allocation-light. The three hot operations --
+``timeout()``, callback registration and callback flushing -- avoid
+per-event closures entirely:
+
+- :meth:`Simulator.timeout` creates a dedicated :class:`Timeout` event
+  and pushes it straight onto the heap; the run loop triggers it inline
+  instead of calling a scheduled lambda.
+- Heap entries are plain ``(when, seq, kind, a, b)`` tuples. ``kind``
+  selects the dispatch -- ``_KIND_CALL`` runs ``a()``, ``_KIND_TIMEOUT``
+  triggers the :class:`Timeout` ``a`` inline, ``_KIND_CALLBACK`` runs
+  ``a(b)`` (callback, event) -- so firing an event never allocates a
+  closure. ``seq`` is unique, so ordering is decided entirely by
+  ``(when, seq)`` and stays bit-for-bit identical to the original
+  lambda-based kernel.
+- Almost every event has exactly one waiter, so :class:`Event` keeps a
+  single ``_callback`` slot that holds the callback directly and only
+  spills into a list when a second callback registers (callbacks are
+  callables, never lists, so ``type(c) is list`` discriminates).
+
 Observability is opt-in: attach a
 :class:`~repro.engine.observability.Observability` (or pass it to the
 constructor) and ``sim.span(...)`` records spans, processes are
@@ -32,12 +51,21 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import ProcessFailure, SimulationError
 
 #: Type alias for simulation processes.
 Process = Generator["Event", Any, Any]
+
+#: Heap-entry dispatch kinds (position 2 of a queue entry). ``seq`` at
+#: position 1 is unique, so these never participate in heap ordering.
+_KIND_CALL = 0  # a()
+_KIND_TIMEOUT = 1  # trigger Timeout a inline
+_KIND_CALLBACK = 2  # a(b)
+
+_new_event = object.__new__
 
 
 class Event:
@@ -48,14 +76,20 @@ class Event:
     A pending event may also be *cancelled* -- a hint to queue owners
     (e.g. :class:`~repro.engine.resources.Resource`) that its waiter has
     abandoned it and the grant should go to someone else.
+
+    Callback storage is one slot (``_callback``) holding ``None``, the
+    sole registered callable, or -- only once a second waiter registers
+    -- a list of callables. Callbacks must be callables (never list
+    instances), which keeps the discrimination a single type check;
+    nearly all events in practice have exactly one waiter.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception",
-                 "_cancelled")
+    __slots__ = ("sim", "_callback", "_triggered", "_value",
+                 "_exception", "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self._callbacks: list[Callable[[Event], None]] = []
+        self._callback: Any = None
         self._triggered = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
@@ -69,7 +103,12 @@ class Event:
     @property
     def cancelled(self) -> bool:
         """Whether the event was abandoned before firing."""
-        return self._cancelled
+        # Timeouts skip initialising the slot (see Simulator.timeout);
+        # an unset slot simply means "never cancelled".
+        try:
+            return self._cancelled
+        except AttributeError:
+            return False
 
     @property
     def value(self) -> Any:
@@ -83,9 +122,19 @@ class Event:
         immediately (at the current simulation time).
         """
         if self._triggered:
-            self.sim._schedule_call(lambda: callback(self))
+            sim = self.sim
+            _heappush(
+                sim._queue,
+                (sim._now, sim._seq_next(), _KIND_CALLBACK, callback, self),
+            )
+            return
+        current = self._callback
+        if current is None:
+            self._callback = callback
+        elif current.__class__ is list:
+            current.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callback = [current, callback]
 
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event successfully with ``value``."""
@@ -117,9 +166,47 @@ class Event:
             self._cancelled = True
 
     def _flush(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim._schedule_call(lambda cb=callback: cb(self))
+        """Schedule the registered callbacks at the current time.
+
+        Callbacks go through the heap (never run re-entrantly), in
+        registration order, each as a direct ``(callback, event)`` heap
+        entry -- no closure per callback.
+        """
+        callback = self._callback
+        if callback is None:
+            return
+        self._callback = None
+        sim = self.sim
+        now = sim._now
+        queue = sim._queue
+        seq_next = sim._seq_next
+        if callback.__class__ is list:
+            for cb in callback:
+                _heappush(queue, (now, seq_next(), _KIND_CALLBACK, cb, self))
+        else:
+            _heappush(queue, (now, seq_next(), _KIND_CALLBACK, callback,
+                              self))
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after its creation.
+
+    Created by :meth:`Simulator.timeout`. The run loop recognises its
+    heap entry and triggers it inline -- no scheduled closure -- which is
+    the kernel's single hottest path. The payload value is stored
+    directly in the value slot at creation (it is immutable from then
+    on), so triggering is a single flag flip plus the callback flush.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", value: Any = None) -> None:
+        self.sim = sim
+        self._callback = None
+        self._triggered = False
+        self._value = value
+        self._exception = None
+        self._cancelled = False
 
 
 class ProcessHandle(Event):
@@ -131,7 +218,7 @@ class ProcessHandle(Event):
     """
 
     __slots__ = ("generator", "name", "_waiting_on", "spawned_at",
-                 "finished_at", "steps")
+                 "finished_at", "steps", "_bound_step")
 
     def __init__(self, sim: "Simulator", generator: Process, name: str = "") -> None:
         super().__init__(sim)
@@ -141,6 +228,9 @@ class ProcessHandle(Event):
         self.spawned_at = sim.now
         self.finished_at: Optional[float] = None
         self.steps = 0
+        # One bound method for the process's whole lifetime instead of a
+        # fresh one per yield.
+        self._bound_step = self._step
 
     def lifetime(self) -> Optional[float]:
         """Virtual time from spawn to completion (``None`` while running)."""
@@ -209,7 +299,17 @@ class ProcessHandle(Event):
                 "expected an Event"
             )
         self._waiting_on = target
-        target.add_callback(self._step)
+        if (
+            type(target) is Timeout
+            and not target._triggered
+            and target._callback is None
+        ):
+            # Fresh pending timeout with a free single-callback slot: the
+            # common yield target. Store directly, skipping the
+            # add_callback call frame.
+            target._callback = self._bound_step
+        else:
+            target.add_callback(self._bound_step)
 
     def _finish(self, value: Any) -> None:
         """Record normal completion and fire the handle."""
@@ -245,7 +345,12 @@ class ProcessHandle(Event):
         """Raise :class:`Interrupt` inside the process at the current time."""
         if self._triggered:
             return
-        self.sim._schedule_call(lambda: self._deliver_interrupt(cause))
+        sim = self.sim
+        _heappush(
+            sim._queue,
+            (sim._now, sim._seq_next(), _KIND_CALLBACK,
+             self._deliver_interrupt, cause),
+        )
 
     def _deliver_interrupt(self, cause: Any) -> None:
         if self._triggered:
@@ -286,7 +391,7 @@ class ProcessHandle(Event):
                 "after interrupt, expected an Event"
             )
         self._waiting_on = target
-        target.add_callback(self._step)
+        target.add_callback(self._bound_step)
 
 
 class Interrupt(Exception):
@@ -326,9 +431,10 @@ class Simulator:
     Attributes
     ----------
     on_event:
-        Optional hook ``(when, call) -> None`` invoked before every
-        scheduled callback executes. Sampled once when :meth:`run`
-        starts, so set it before running.
+        Optional hook ``(when, entry) -> None`` invoked before every
+        scheduled heap entry executes; ``entry`` is the raw
+        ``(when, seq, kind, a, b)`` queue tuple. Sampled once when
+        :meth:`run` starts, so set it before running.
     on_process_error:
         Optional hook ``(handle, exc) -> bool`` invoked when an
         exception escapes a process generator; return truthy to mark the
@@ -339,11 +445,14 @@ class Simulator:
 
     def __init__(self, start: float = 0.0, observability: Any = None) -> None:
         self._now = float(start)
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list = []
         self._sequence = itertools.count()
+        # Bound ``__next__`` of the tie-break counter: one call, no
+        # global ``next`` lookup, on every heap push.
+        self._seq_next = self._sequence.__next__
         self._event_count = 0
         self.observability: Any = None
-        self.on_event: Optional[Callable[[float, Callable[[], None]], None]] = None
+        self.on_event: Optional[Callable[[float, tuple], None]] = None
         self.on_process_error: Optional[
             Callable[[ProcessHandle, BaseException], bool]
         ] = None
@@ -358,7 +467,13 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of scheduled callbacks executed so far."""
+        """Number of scheduled heap entries executed so far.
+
+        For speed the fast run loop accumulates this locally and folds
+        it back in when :meth:`run` returns (or raises); reads from
+        *inside* a callback may lag until then unless an ``on_event``
+        hook is set, which forces exact per-entry accounting.
+        """
         return self._event_count
 
     @property
@@ -369,14 +484,18 @@ class Simulator:
     # -- scheduling primitives -------------------------------------------
 
     def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
+        """Schedule a zero-argument callable at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < {self._now}"
             )
-        heapq.heappush(self._queue, (when, next(self._sequence), call))
+        _heappush(self._queue,
+                  (when, self._seq_next(), _KIND_CALL, call, None))
 
     def _schedule_call(self, call: Callable[[], None]) -> None:
-        self._schedule_at(self._now, call)
+        """Schedule a zero-argument callable at the current time."""
+        _heappush(self._queue,
+                  (self._now, self._seq_next(), _KIND_CALL, call, None))
 
     # -- public API --------------------------------------------------------
 
@@ -384,18 +503,40 @@ class Simulator:
         """Create a fresh pending event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires ``delay`` time units from now."""
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now.
+
+        The returned :class:`Timeout` is pushed directly onto the event
+        heap; the run loop triggers it inline, so a timeout costs one
+        object and one heap entry -- no closure, no scheduled lambda.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        evt = Event(self)
-        self._schedule_at(self._now + delay, lambda: evt.succeed(value))
+        # Inline construction (no __init__ call frame): this is the
+        # single most frequent allocation in every simulation.
+        evt = _new_event(Timeout)
+        evt.sim = self
+        evt._callback = None
+        evt._triggered = False
+        evt._value = value
+        evt._exception = None
+        # ``_cancelled`` is deliberately left unset: ``cancel()`` stores
+        # it on demand and the ``cancelled`` property defaults to False,
+        # saving one slot store on the hottest allocation in the kernel.
+        _heappush(
+            self._queue,
+            (self._now + delay, self._seq_next(), _KIND_TIMEOUT, evt, None),
+        )
         return evt
 
     def spawn(self, generator: Process, name: str = "") -> ProcessHandle:
         """Start a new process and return its handle."""
         handle = ProcessHandle(self, generator, name)
-        self._schedule_call(lambda: handle._step(None))
+        _heappush(
+            self._queue,
+            (self._now, self._seq_next(), _KIND_CALLBACK,
+             handle._bound_step, None),
+        )
         return handle
 
     def span(self, name: str, **tags: Any):
@@ -472,21 +613,93 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock passes ``until``.
 
-        Returns the final clock value.
+        Returns the final clock value. With neither an ``until`` horizon
+        nor an ``on_event`` hook the loop takes a specialised fast path:
+        entries are popped directly and the event counter is folded back
+        in on exit (exact per-entry accounting is preserved whenever the
+        hook is set).
         """
         queue = self._queue
         on_event = self.on_event  # read once; set hooks before run()
-        while queue:
-            when, _seq, call = queue[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(queue)
-            self._now = when
-            self._event_count += 1
-            if on_event is not None:
-                on_event(when, call)
-            call()
+        heappop = heapq.heappop
+        heappush = _heappush
+        seq_next = self._seq_next
+        popped = 0
+        try:
+            if on_event is None and until is None:
+                # Fast path: no horizon checks, no hook dispatch, local
+                # event counting.
+                while queue:
+                    entry = heappop(queue)
+                    popped += 1
+                    self._now = when = entry[0]
+                    kind = entry[2]
+                    if kind == 1:  # _KIND_TIMEOUT -- trigger inline
+                        # Checked first: inline dispatch keeps most
+                        # callback entries off the heap, so timeout
+                        # entries dominate what actually pops here.
+                        evt = entry[3]
+                        if evt._triggered:
+                            raise SimulationError("event already triggered")
+                        evt._triggered = True
+                        # Inline Event._flush: schedule waiters at `when`.
+                        callback = evt._callback
+                        if callback is not None:
+                            evt._callback = None
+                            if callback.__class__ is list:
+                                for cb in callback:
+                                    heappush(queue, (when, seq_next(), 2,
+                                                     cb, evt))
+                            elif not queue or queue[0][0] > when:
+                                # No other entry is due at `when`, so the
+                                # callback entry we would push would pop
+                                # straight back off the heap. Dispatch it
+                                # directly -- relative sequence order (and
+                                # therefore every tie-break) is unchanged.
+                                callback(evt)
+                            else:
+                                heappush(queue, (when, seq_next(), 2,
+                                                 callback, evt))
+                    elif kind == 2:  # _KIND_CALLBACK: a(b)
+                        entry[3](entry[4])
+                    else:  # _KIND_CALL
+                        entry[3]()
+            else:
+                while queue:
+                    entry = queue[0]
+                    when = entry[0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return self._now
+                    heappop(queue)
+                    self._now = when
+                    self._event_count += 1
+                    if on_event is not None:
+                        on_event(when, entry)
+                    kind = entry[2]
+                    if kind == 2:
+                        entry[3](entry[4])
+                    elif kind == 1:
+                        evt = entry[3]
+                        if evt._triggered:
+                            raise SimulationError("event already triggered")
+                        evt._triggered = True
+                        callback = evt._callback
+                        if callback is not None:
+                            evt._callback = None
+                            if callback.__class__ is list:
+                                for cb in callback:
+                                    heappush(queue, (when, seq_next(), 2,
+                                                     cb, evt))
+                            else:
+                                heappush(queue, (when, seq_next(), 2,
+                                                 callback, evt))
+                    else:
+                        entry[3]()
+        finally:
+            # Incremental so a nested run() (a callback that re-enters
+            # the loop) keeps the total exact.
+            self._event_count += popped
         if until is not None and until > self._now:
             self._now = until
         return self._now

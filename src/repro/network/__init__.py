@@ -18,6 +18,7 @@ from repro.network.failures import (
 from repro.network.flows import (
     Flow,
     FlowSimulator,
+    invalidate_link_capacity_cache,
     max_min_fair_rates,
     transfer_time_s,
 )
@@ -129,6 +130,7 @@ __all__ = [
     "generations_by_year",
     "hop_count_matrix",
     "hosts_connected",
+    "invalidate_link_capacity_cache",
     "leaf_spine",
     "link_load_bytes",
     "load_imbalance",

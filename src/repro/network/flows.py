@@ -4,19 +4,53 @@ The shuffle and disaggregation experiments need "how long does this set
 of bulk transfers take", not per-packet detail. This module provides:
 
 - :func:`max_min_fair_rates`: progressive-filling max-min fair allocation
-  of concurrent flows over a fabric.
+  of concurrent flows over a fabric (reference implementation, pure
+  Python, unchanged semantics).
 - :class:`FlowSimulator`: event-driven completion of a static flow set,
   re-solving rates as flows finish (the standard flow-level DC model).
+  The simulator uses a vectorized incremental solver: link capacities
+  are cached per fabric, the link x flow incidence matrix is built once
+  per run, and flows enter/leave via boolean masks, so each re-solve is
+  a handful of numpy operations instead of a Python scan over every
+  link and flow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.network.routing import ecmp_path_for_flow, path_links
 from repro.network.topology import Fabric
+
+
+def _fabric_link_capacities(fabric: Fabric) -> Dict[Tuple[str, str], float]:
+    """Capacity in bytes/s per canonical link key, cached on the fabric.
+
+    The cache is stashed on the fabric instance and fingerprinted by the
+    edge count, so adding or removing links invalidates it. Editing a
+    link *rate* in place (same edge count) does not; call
+    :func:`invalidate_link_capacity_cache` after such a mutation.
+    """
+    n_edges = fabric.graph.number_of_edges()
+    cache = getattr(fabric, "_repro_capacity_cache", None)
+    if cache is not None and cache[0] == n_edges:
+        return cache[1]
+    caps = {
+        (a, b) if a <= b else (b, a): data["rate_gbps"] * 1e9 / 8.0
+        for a, b, data in fabric.graph.edges(data=True)
+    }
+    fabric._repro_capacity_cache = (n_edges, caps)
+    return caps
+
+
+def invalidate_link_capacity_cache(fabric: Fabric) -> None:
+    """Drop the cached link-capacity table after an in-place rate edit."""
+    if hasattr(fabric, "_repro_capacity_cache"):
+        del fabric._repro_capacity_cache
 
 
 @dataclass
@@ -106,7 +140,10 @@ class FlowSimulator:
         """Simulate all flows to completion; returns them with finish times.
 
         Events are flow arrivals and completions; between events, rates
-        are constant at the max-min solution for the active set.
+        are constant at the max-min solution for the active set. The
+        incidence matrix over every flow's path is built once up front;
+        per event only the active mask changes and the solve is fully
+        vectorized.
         """
         if not flows:
             return []
@@ -121,49 +158,147 @@ class FlowSimulator:
                 )
 
         pending = sorted(flows, key=lambda f: (f.start_s, f.flow_id))
-        remaining: Dict[int, float] = {}
-        active: Dict[int, Flow] = {}
+        n = len(pending)
+
+        caps_by_link = _fabric_link_capacities(self.fabric)
+
+        # Link universe across all paths, and per-flow link indices.
+        link_index: Dict[Tuple[str, str], int] = {}
+        per_flow_links: List[List[int]] = []
+        for flow in pending:
+            idxs = []
+            for link in path_links(flow.path):
+                pos = link_index.get(link)
+                if pos is None:
+                    if link not in caps_by_link:
+                        raise TopologyError(f"no link {link[0]}--{link[1]}")
+                    pos = link_index[link] = len(link_index)
+                idxs.append(pos)
+            per_flow_links.append(idxs)
+        n_links = len(link_index)
+
+        caps = np.empty(n_links, dtype=np.float64)
+        for link, pos in link_index.items():
+            caps[pos] = caps_by_link[link]
+
+        # Dense flow x link incidence, built once. Flows enter and leave
+        # the solve via the ``active`` mask; the matrix never changes.
+        incidence = np.zeros((n, n_links), dtype=np.float64)
+        for row, idxs in enumerate(per_flow_links):
+            incidence[row, idxs] = 1.0
+        on_link = incidence.astype(bool)
+
+        active = np.zeros(n, dtype=bool)
+        remaining = np.zeros(n, dtype=np.float64)
+        rates = np.zeros(n, dtype=np.float64)
+
         now = 0.0
         next_arrival = 0
+        n_active = 0
 
-        while pending[next_arrival:] or active:
-            # Admit arrivals due now.
-            while next_arrival < len(pending) and (
-                not active or pending[next_arrival].start_s <= now
+        while next_arrival < n or n_active:
+            # Admit arrivals due now (jump the clock if the fabric idles).
+            while next_arrival < n and (
+                n_active == 0 or pending[next_arrival].start_s <= now
             ):
                 flow = pending[next_arrival]
                 if flow.start_s > now:
                     now = flow.start_s
-                active[flow.flow_id] = flow
-                remaining[flow.flow_id] = flow.size_bytes
+                active[next_arrival] = True
+                remaining[next_arrival] = flow.size_bytes
                 next_arrival += 1
+                n_active += 1
 
-            rates = max_min_fair_rates(self.fabric, list(active.values()))
+            _progressive_fill(active, incidence, on_link, caps, rates)
 
-            # Time to the next completion at current rates.
-            time_to_finish = min(
-                remaining[fid] / rates[fid] for fid in active
-            )
-            # Time to the next arrival, if any.
-            horizon = time_to_finish
-            if next_arrival < len(pending):
-                horizon = min(
-                    horizon, pending[next_arrival].start_s - now
+            act = np.nonzero(active)[0]
+            act_rates = rates[act]
+            starved = act[act_rates == 0.0]
+            if starved.size:
+                flow = pending[int(starved[0])]
+                raise TopologyError(
+                    f"flow {flow.flow_id}: max-min rate is zero "
+                    f"({flow.src}->{flow.dst} crosses a zero-capacity "
+                    "link), so the transfer would never finish"
                 )
+
+            # Time to the next completion at current rates; an infinite
+            # rate (a path with no links) completes instantly.
+            deliverable = remaining[act]
+            time_to_finish = float(np.min(deliverable / act_rates))
+            horizon = time_to_finish
+            if next_arrival < n:
+                horizon = min(horizon, pending[next_arrival].start_s - now)
             horizon = max(horizon, 0.0)
 
             # Advance.
-            for fid in list(active):
-                remaining[fid] -= rates[fid] * horizon
+            delta = act_rates * horizon
+            infinite = np.isinf(act_rates)
+            if infinite.any():
+                delta = np.where(infinite, deliverable, delta)
+            rem_act = deliverable - delta
+            remaining[act] = rem_act
             now += horizon
 
             # Retire finished flows (tolerance for float error).
-            for fid in sorted(active):
-                if remaining[fid] <= 1e-6:
-                    active[fid].finish_s = now
-                    del active[fid]
-                    del remaining[fid]
+            finished = act[rem_act <= 1e-6]
+            for pos in finished:
+                pending[int(pos)].finish_s = now
+            active[finished] = False
+            n_active -= int(finished.size)
         return flows
+
+
+def _progressive_fill(
+    active: "np.ndarray",
+    incidence: "np.ndarray",
+    on_link: "np.ndarray",
+    caps: "np.ndarray",
+    rates: "np.ndarray",
+) -> None:
+    """Vectorized progressive filling over the ``active`` flow subset.
+
+    Writes max-min fair rates (bytes/s) for active flows into ``rates``
+    in place. Same algorithm as :func:`max_min_fair_rates`: repeatedly
+    find the most constrained link, freeze its flows at the fair share,
+    subtract, repeat. Exact float-tie bottleneck ordering may differ
+    from the reference scan, but the max-min allocation is unique, so
+    rates agree to rounding.
+    """
+    rates[:] = 0.0
+    n_unfrozen = int(active.sum())
+    if n_unfrozen == 0:
+        return
+    unfrozen = active.copy()
+    cap = caps.astype(np.float64, copy=True)
+    # Live (unfrozen) flow count per link; matmul once, then update
+    # incrementally as flows freeze.
+    nlive = unfrozen.astype(np.float64) @ incidence
+    shares = np.empty_like(cap)
+    inf = np.inf
+    while True:
+        shares.fill(inf)
+        np.divide(cap, nlive, out=shares, where=nlive > 0.5)
+        share = float(shares[int(shares.argmin())])
+        if share == inf:
+            # Flows whose paths cross no live link (shouldn't happen on a
+            # connected fabric) are unconstrained.
+            rates[unfrozen] = inf
+            return
+        # Freeze every link exactly tied at the bottleneck share in one
+        # round: as one tied link's flows freeze at share s, a tied
+        # peer's fair share stays (c - k*s)/(n - k) = s, so the batch is
+        # equivalent to freezing them one at a time.
+        members = unfrozen & on_link[:, shares == share].any(axis=1)
+        rates[members] = share
+        n_unfrozen -= int(members.sum())
+        unfrozen ^= members
+        counts = members.astype(np.float64) @ incidence
+        cap -= share * counts
+        np.maximum(cap, 0.0, out=cap)
+        if n_unfrozen == 0:
+            return
+        nlive -= counts
 
 
 def transfer_time_s(
@@ -172,5 +307,9 @@ def transfer_time_s(
     """Completion time of a single flow on an otherwise idle fabric."""
     flow = Flow(0, src, dst, size_bytes)
     FlowSimulator(fabric).run([flow])
-    assert flow.finish_s is not None
+    if flow.finish_s is None:
+        raise TopologyError(
+            f"flow {flow.flow_id} ({src}->{dst}) has no finish time; "
+            "the solver returned without completing it"
+        )
     return flow.finish_s

@@ -1,0 +1,486 @@
+"""Pinned performance microbenches for the simulation substrates.
+
+``python -m repro perf`` runs every microbench twice per round -- once on
+the production kernel and once on the frozen pre-fast-path reference
+kernel (:mod:`repro._perfref`) -- in interleaved rounds, then reports the
+median wall time of each side and the speedup ratio. CI gates on the
+*ratios*, not on absolute times, so results are robust to machine
+differences.
+
+Benches
+-------
+``event_churn``
+    Steady-state callback chains: a rolling window of pending timeouts,
+    each completion scheduling the next. Measures raw event throughput
+    (allocation, heap traffic, dispatch).
+``timeout_churn``
+    A single process yielding tens of thousands of timeouts back to
+    back. Measures the process-step / timeout round trip.
+``resource_contention``
+    Many processes cycling acquire/hold/release on a small
+    :class:`~repro.engine.resources.Resource`. Measures the
+    event-flush and FIFO grant path.
+``e2_end_to_end``
+    The E2 Catapult search-ranking workload end to end on both kernels.
+    Measures a realistic mix, and doubles as a golden-output check: the
+    latency samples must match the reference kernel exactly.
+``flow_solver_500``
+    500-flow all-to-all shuffle between two racks (the E6-E8 traffic
+    shape) through :class:`~repro.network.flows.FlowSimulator`.
+``flow_solver_scaling``
+    A smaller random-pair flow set across the whole fabric.
+
+Every bench verifies that both kernels produce the same simulation
+results before any timing is reported (exactly for the engine benches,
+to 1e-9 relative for the flow benches, whose vectorized solver may order
+exact float ties differently).
+
+Outputs ``BENCH_engine.json`` and ``BENCH_network.json``; with
+``--check <dir>`` the run fails if any bench regresses more than 25%
+against the committed baseline or drops below its pinned ``min_speedup``
+floor. The headline benches carry a ``target_speedup`` (3x event churn,
+5x 500-flow solver) that the committed baseline demonstrates; the CI
+floor is the target minus the regression tolerance, so a genuine
+regression trips the gate but single-vCPU scheduler jitter does not.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import _perfref
+from repro.errors import ModelError
+
+#: CI fails when a bench's speedup falls more than this far (fractional)
+#: below the committed baseline's speedup.
+REGRESSION_TOLERANCE = 0.25
+
+_BenchOutcome = Tuple[float, Any]  # (elapsed seconds, result checksum)
+
+
+# ---------------------------------------------------------------------------
+# Engine microbenches. Each takes the kernel classes to run on, so the
+# same workload drives the production and the reference kernel.
+# ---------------------------------------------------------------------------
+
+
+def _bench_event_churn(sim_cls, n_events: int, window: int = 128) -> _BenchOutcome:
+    sim = sim_cls()
+    budget = n_events
+    timeout = sim.timeout
+
+    def make_chain(delay):
+        def advance(evt):
+            nonlocal budget
+            budget -= 1
+            if budget > 0:
+                timeout(delay).add_callback(advance)
+
+        return advance
+
+    start = time.perf_counter()
+    for i in range(window):
+        timeout(1e-4 + i * 1e-6).add_callback(make_chain(1e-3 + i * 1e-6))
+    sim.run()
+    return time.perf_counter() - start, sim.now
+
+
+def _bench_timeout_churn(sim_cls, n_timeouts: int) -> _BenchOutcome:
+    sim = sim_cls()
+
+    def ticker():
+        for i in range(n_timeouts):
+            yield sim.timeout(1e-3 + (i % 7) * 1e-6)
+
+    sim.spawn(ticker())
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.now
+
+
+def _bench_resource_contention(
+    sim_cls, resource_cls, n_procs: int, cycles: int
+) -> _BenchOutcome:
+    sim = sim_cls()
+    pool = resource_cls(sim, capacity=8)
+
+    def worker(k):
+        for _ in range(cycles):
+            yield pool.acquire()
+            yield sim.timeout(1e-4 + (k % 11) * 1e-6)
+            pool.release()
+
+    for k in range(n_procs):
+        sim.spawn(worker(k))
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, sim.now
+
+
+def _bench_e2_end_to_end(sim_cls, resource_cls, n_requests: int) -> _BenchOutcome:
+    import repro.workloads.search as search
+
+    originals = (search.Simulator, search.Resource)
+    search.Simulator, search.Resource = sim_cls, resource_cls
+    try:
+        start = time.perf_counter()
+        result = search.run_search_service(
+            qps=4000.0, n_requests=n_requests, accelerated=True
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        search.Simulator, search.Resource = originals
+    return elapsed, tuple(result.latencies_s)
+
+
+# ---------------------------------------------------------------------------
+# Flow-solver microbenches.
+# ---------------------------------------------------------------------------
+
+
+def _shuffle_flows(n_flows: int, seed: int = 7):
+    """All-to-all shuffle between two racks: the E6-E8 traffic shape."""
+    from repro.network.flows import Flow
+
+    rng = random.Random(seed)
+    return [
+        Flow(
+            i,
+            f"host0-{rng.randrange(8)}",
+            f"host1-{rng.randrange(8)}",
+            (1 + rng.random() * 99) * 1e6,
+            start_s=rng.random() * 0.05,
+        )
+        for i in range(n_flows)
+    ]
+
+
+def _random_flows(n_flows: int, seed: int = 11):
+    from repro.network.flows import Flow
+
+    rng = random.Random(seed)
+    flows = []
+    for i in range(n_flows):
+        src = f"host{rng.randrange(4)}-{rng.randrange(8)}"
+        dst = f"host{rng.randrange(4)}-{rng.randrange(8)}"
+        while dst == src:
+            dst = f"host{rng.randrange(4)}-{rng.randrange(8)}"
+        flows.append(
+            Flow(i, src, dst, (1 + rng.random() * 99) * 1e6,
+                 start_s=rng.random() * 0.5)
+        )
+    return flows
+
+
+def _bench_flow_solver(solver_cls, make_flows) -> _BenchOutcome:
+    from repro.network.topology import leaf_spine
+
+    fabric = leaf_spine(n_spines=4, n_leaves=4, hosts_per_leaf=8)
+    flows = make_flows()
+    solver = solver_cls(fabric)
+    start = time.perf_counter()
+    solver.run(flows)
+    elapsed = time.perf_counter() - start
+    return elapsed, tuple(f.finish_s for f in flows)
+
+
+# ---------------------------------------------------------------------------
+# Harness.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One pinned microbench: candidate and reference runners."""
+
+    name: str
+    suite: str
+    description: str
+    candidate: Callable[[], _BenchOutcome]
+    reference: Callable[[], _BenchOutcome]
+    exact: bool = True  # checksum comparison: exact vs 1e-9 relative
+    #: Speedup the committed baseline must demonstrate. The pinned CI
+    #: floor is ``target_speedup * (1 - REGRESSION_TOLERANCE)`` so that
+    #: single-vCPU timing jitter cannot flake the gate while a real
+    #: regression still trips it.
+    target_speedup: Optional[float] = None
+
+
+def _verify_checksums(spec: BenchSpec, candidate: Any, reference: Any) -> None:
+    if spec.exact:
+        if candidate != reference:
+            raise ModelError(
+                f"perf bench {spec.name!r}: candidate kernel diverged from "
+                f"the reference kernel ({candidate!r} != {reference!r})"
+            )
+        return
+    cand = candidate if isinstance(candidate, tuple) else (candidate,)
+    ref = reference if isinstance(reference, tuple) else (reference,)
+    if len(cand) != len(ref):
+        raise ModelError(
+            f"perf bench {spec.name!r}: result cardinality diverged"
+        )
+    for i, (a, b) in enumerate(zip(cand, ref)):
+        scale = max(abs(a), abs(b), 1e-12)
+        if abs(a - b) / scale > 1e-9:
+            raise ModelError(
+                f"perf bench {spec.name!r}: result {i} diverged beyond "
+                f"1e-9 relative ({a!r} vs {b!r})"
+            )
+
+
+def _run_spec(spec: BenchSpec, rounds: int) -> Dict[str, Any]:
+    # Warmup round, also used to verify both kernels agree on the
+    # simulation results before any timing is trusted.
+    _, cand_sum = spec.candidate()
+    _, ref_sum = spec.reference()
+    _verify_checksums(spec, cand_sum, ref_sum)
+
+    candidate_times: List[float] = []
+    reference_times: List[float] = []
+    for _ in range(rounds):
+        # Interleaved so slow machine-wide drift (thermal, noisy
+        # neighbours) hits both sides equally.
+        candidate_times.append(spec.candidate()[0])
+        reference_times.append(spec.reference()[0])
+
+    reference_median = statistics.median(reference_times)
+    candidate_median = statistics.median(candidate_times)
+    entry: Dict[str, Any] = {
+        "description": spec.description,
+        "rounds": rounds,
+        "reference_median_s": round(reference_median, 6),
+        "candidate_median_s": round(candidate_median, 6),
+        "speedup": round(reference_median / candidate_median, 3),
+    }
+    if spec.target_speedup is not None:
+        entry["target_speedup"] = spec.target_speedup
+        entry["min_speedup"] = round(
+            spec.target_speedup * (1.0 - REGRESSION_TOLERANCE), 3
+        )
+    return entry
+
+
+def build_specs(quick: bool = False) -> List[BenchSpec]:
+    """The pinned bench set; ``quick`` shrinks workloads ~10x for tests."""
+    from repro.engine.resources import Resource
+    from repro.engine.sim import Simulator
+    from repro.network.flows import FlowSimulator
+
+    scale = 0.1 if quick else 1.0
+    n_churn = max(int(50_000 * scale), 500)
+    n_timeouts = max(int(30_000 * scale), 300)
+    n_procs = max(int(200 * scale), 20)
+    cycles = 25
+    n_requests = max(int(2_000 * scale), 100)
+    n_shuffle = max(int(500 * scale), 50)
+    n_random = max(int(150 * scale), 30)
+
+    return [
+        BenchSpec(
+            name="event_churn",
+            suite="engine",
+            description=(
+                f"{n_churn} chained timeout completions over a rolling "
+                "window of pending events"
+            ),
+            candidate=lambda: _bench_event_churn(Simulator, n_churn),
+            reference=lambda: _bench_event_churn(_perfref.Simulator, n_churn),
+            target_speedup=None if quick else 3.0,
+        ),
+        BenchSpec(
+            name="timeout_churn",
+            suite="engine",
+            description=(
+                f"one process yielding {n_timeouts} timeouts back to back"
+            ),
+            candidate=lambda: _bench_timeout_churn(Simulator, n_timeouts),
+            reference=lambda: _bench_timeout_churn(
+                _perfref.Simulator, n_timeouts
+            ),
+        ),
+        BenchSpec(
+            name="resource_contention",
+            suite="engine",
+            description=(
+                f"{n_procs} processes x {cycles} acquire/hold/release "
+                "cycles on an 8-way resource"
+            ),
+            candidate=lambda: _bench_resource_contention(
+                Simulator, Resource, n_procs, cycles
+            ),
+            reference=lambda: _bench_resource_contention(
+                _perfref.Simulator, _perfref.Resource, n_procs, cycles
+            ),
+        ),
+        BenchSpec(
+            name="e2_end_to_end",
+            suite="engine",
+            description=(
+                f"E2 search-ranking service, {n_requests} accelerated "
+                "requests at 4000 qps"
+            ),
+            candidate=lambda: _bench_e2_end_to_end(
+                Simulator, Resource, n_requests
+            ),
+            reference=lambda: _bench_e2_end_to_end(
+                _perfref.Simulator, _perfref.Resource, n_requests
+            ),
+        ),
+        BenchSpec(
+            name="flow_solver_500",
+            suite="network",
+            description=(
+                f"{n_shuffle}-flow two-rack shuffle through FlowSimulator"
+            ),
+            candidate=lambda: _bench_flow_solver(
+                FlowSimulator, lambda: _shuffle_flows(n_shuffle)
+            ),
+            reference=lambda: _bench_flow_solver(
+                _perfref.ReferenceFlowSimulator,
+                lambda: _shuffle_flows(n_shuffle),
+            ),
+            exact=False,
+            target_speedup=None if quick else 5.0,
+        ),
+        BenchSpec(
+            name="flow_solver_scaling",
+            suite="network",
+            description=(
+                f"{n_random} random-pair flows across a 4x4 leaf-spine"
+            ),
+            candidate=lambda: _bench_flow_solver(
+                FlowSimulator, lambda: _random_flows(n_random)
+            ),
+            reference=lambda: _bench_flow_solver(
+                _perfref.ReferenceFlowSimulator,
+                lambda: _random_flows(n_random),
+            ),
+            exact=False,
+        ),
+    ]
+
+
+def run_suites(
+    rounds: int = 3, quick: bool = False
+) -> Dict[str, Dict[str, Any]]:
+    """Run every bench; returns ``{suite_name: suite_results}``."""
+    if rounds < 1:
+        raise ModelError(f"rounds must be >= 1, got {rounds}")
+    suites: Dict[str, Dict[str, Any]] = {}
+    for spec in build_specs(quick=quick):
+        suite = suites.setdefault(
+            spec.suite,
+            {"suite": spec.suite, "rounds": rounds, "quick": quick,
+             "benches": {}},
+        )
+        suite["benches"][spec.name] = _run_spec(spec, rounds)
+    return suites
+
+
+def write_results(
+    suites: Dict[str, Dict[str, Any]], out_dir: Path
+) -> List[Path]:
+    """Write ``BENCH_<suite>.json`` files; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, results in sorted(suites.items()):
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def check_against_baseline(
+    suites: Dict[str, Dict[str, Any]], baseline_dir: Path
+) -> List[str]:
+    """Regression check vs committed baselines; returns failure strings.
+
+    A bench fails when its speedup drops more than
+    ``REGRESSION_TOLERANCE`` below the baseline speedup, or below the
+    baseline's pinned ``min_speedup`` floor.
+    """
+    baseline_dir = Path(baseline_dir)
+    failures: List[str] = []
+    for name, results in sorted(suites.items()):
+        path = baseline_dir / f"BENCH_{name}.json"
+        if not path.exists():
+            failures.append(f"{name}: no baseline at {path}")
+            continue
+        baseline = json.loads(path.read_text())
+        for bench, entry in sorted(baseline.get("benches", {}).items()):
+            current = results.get("benches", {}).get(bench)
+            if current is None:
+                failures.append(f"{bench}: missing from current run")
+                continue
+            floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+            min_speedup = entry.get("min_speedup")
+            if min_speedup is not None:
+                floor = max(floor, min_speedup)
+            if current["speedup"] < floor:
+                failures.append(
+                    f"{bench}: speedup {current['speedup']:.2f}x below "
+                    f"floor {floor:.2f}x (baseline "
+                    f"{entry['speedup']:.2f}x, tolerance "
+                    f"{REGRESSION_TOLERANCE:.0%})"
+                )
+    return failures
+
+
+def render_results(suites: Dict[str, Dict[str, Any]]) -> str:
+    """Human-readable summary table of all suites."""
+    lines = []
+    for name, results in sorted(suites.items()):
+        lines.append(f"suite {name} (median of {results['rounds']} rounds"
+                     f"{', quick' if results.get('quick') else ''})")
+        width = max(len(b) for b in results["benches"]) + 2
+        for bench, entry in results["benches"].items():
+            floor = (f"  (target {entry['target_speedup']:.1f}x, "
+                     f"floor {entry['min_speedup']:.2f}x)"
+                     if "min_speedup" in entry else "")
+            lines.append(
+                f"  {bench:<{width}} reference {entry['reference_median_s']:>9.4f}s"
+                f"  candidate {entry['candidate_median_s']:>9.4f}s"
+                f"  speedup {entry['speedup']:>6.2f}x{floor}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI for ``python -m repro perf`` and ``benchmarks/perfsuite.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="pinned engine/flow-solver perf microbenches",
+    )
+    parser.add_argument("--out-dir", default=".",
+                        help="where to write BENCH_*.json (default: .)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per bench (default: 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller workloads (smoke/tests)")
+    parser.add_argument("--check", metavar="BASELINE_DIR", default=None,
+                        help="fail on >25%% regression vs baselines in DIR")
+    args = parser.parse_args(argv)
+
+    suites = run_suites(rounds=args.rounds, quick=args.quick)
+    print(render_results(suites))
+    for path in write_results(suites, Path(args.out_dir)):
+        print(f"wrote {path}")
+    if args.check is not None:
+        failures = check_against_baseline(suites, Path(args.check))
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"regression check vs {args.check}: OK")
+    return 0

@@ -1,0 +1,124 @@
+"""Determinism guarantees of the fast-path kernel (golden traces).
+
+The kernel fast paths (inline ``Timeout`` triggering, single-callback
+slots, direct heap entries) must not change *any* observable simulation
+output. These tests pin that down three ways:
+
+- the same seeded run produces identical results with and without an
+  attached :class:`~repro.engine.Observability`;
+- the production kernel reproduces the frozen pre-fast-path reference
+  kernel (:mod:`repro._perfref`) event for event on E2's search
+  workload -- a golden-trace comparison, exact to the last bit;
+- a mixed workload (processes, resources, timeouts, ties) yields an
+  identical event trace across kernels and across repeated runs.
+"""
+
+import pytest
+
+from repro import _perfref
+from repro.engine import Observability, Resource, Simulator
+
+
+def _run_e2(n_requests=400, observability=None):
+    from repro.workloads.search import run_search_service
+
+    result = run_search_service(
+        qps=4000.0,
+        n_requests=n_requests,
+        accelerated=True,
+        observability=observability,
+    )
+    return tuple(result.latencies_s)
+
+
+def _run_e2_on(sim_cls, resource_cls, n_requests=400):
+    import repro.workloads.search as search
+
+    originals = (search.Simulator, search.Resource)
+    search.Simulator, search.Resource = sim_cls, resource_cls
+    try:
+        return _run_e2(n_requests)
+    finally:
+        search.Simulator, search.Resource = originals
+
+
+def _mixed_trace(sim_cls, resource_cls):
+    """A seeded mixed workload; returns the full (time, label) trace."""
+    sim = sim_cls()
+    pool = resource_cls(sim, capacity=2)
+    trace = []
+
+    def worker(k):
+        for i in range(6):
+            yield pool.acquire()
+            # Deliberate exact ties: several workers hold for the same
+            # durations, so ordering rests purely on (when, seq).
+            yield sim.timeout(0.25 * ((k + i) % 3))
+            trace.append((sim.now, f"held-{k}"))
+            pool.release()
+            yield sim.timeout(0.125)
+        trace.append((sim.now, f"done-{k}"))
+
+    for k in range(5):
+        sim.spawn(worker(k), name=f"w{k}")
+    sim.run()
+    return trace
+
+
+class TestObservabilityNeutrality:
+    def test_e2_latencies_identical_with_and_without_observability(self):
+        bare = _run_e2()
+        observed = _run_e2(observability=Observability())
+        assert bare == observed  # bit-for-bit, not approx
+
+    def test_mixed_trace_identical_with_observability(self):
+        sim_plain = _mixed_trace(Simulator, Resource)
+
+        def observed_cls():
+            return Simulator(observability=Observability())
+
+        sim_observed = _mixed_trace(lambda: observed_cls(), Resource)
+        assert sim_plain == sim_observed
+
+
+class TestGoldenTraceVsReferenceKernel:
+    def test_e2_matches_frozen_reference_kernel(self):
+        production = _run_e2_on(Simulator, Resource)
+        reference = _run_e2_on(_perfref.Simulator, _perfref.Resource)
+        assert production == reference  # golden trace, exact
+
+    def test_mixed_trace_matches_reference_kernel(self):
+        assert _mixed_trace(Simulator, Resource) == _mixed_trace(
+            _perfref.Simulator, _perfref.Resource
+        )
+
+    def test_repeated_runs_are_identical(self):
+        first = _run_e2()
+        second = _run_e2()
+        assert first == second
+
+
+class TestTieBreaking:
+    def test_equal_time_events_fire_in_creation_order(self):
+        for sim_cls in (Simulator, _perfref.Simulator):
+            sim = sim_cls()
+            order = []
+            for label in ("a", "b", "c", "d"):
+                sim.timeout(1.0).add_callback(
+                    lambda evt, label=label: order.append(label)
+                )
+            sim.run()
+            assert order == ["a", "b", "c", "d"], sim_cls
+
+    def test_clock_identical_across_kernels(self):
+        def drive(sim_cls):
+            sim = sim_cls()
+
+            def proc():
+                for i in range(50):
+                    yield sim.timeout(0.1 + (i % 4) * 0.05)
+
+            sim.spawn(proc())
+            return sim.run()
+
+        assert drive(Simulator) == drive(_perfref.Simulator)

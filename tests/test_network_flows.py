@@ -9,6 +9,7 @@ from repro.network import (
     Flow,
     FlowSimulator,
     PacketNetwork,
+    invalidate_link_capacity_cache,
     leaf_spine,
     max_min_fair_rates,
     poisson_traffic_latencies,
@@ -164,3 +165,86 @@ class TestPacketNetwork:
     def test_bad_args_rejected(self):
         with pytest.raises(TopologyError):
             poisson_traffic_latencies(_fabric(), "host0-0", "host1-0", 0, 10)
+
+
+class TestSolverFastPath:
+    """Regression coverage for the vectorized incremental solver."""
+
+    def test_zero_capacity_link_raises_topology_error(self):
+        fabric = _fabric()
+        path = shortest_path(fabric, "host0-0", "host1-0")
+        fabric.graph.edges[path[0], path[1]]["rate_gbps"] = 0.0
+        with pytest.raises(TopologyError, match="flow 7"):
+            FlowSimulator(fabric).run(
+                [Flow(7, "host0-0", "host1-0", units.GB)]
+            )
+
+    def test_zero_capacity_error_names_endpoints(self):
+        fabric = _fabric()
+        path = shortest_path(fabric, "host0-0", "host1-0")
+        fabric.graph.edges[path[0], path[1]]["rate_gbps"] = 0.0
+        with pytest.raises(TopologyError, match="host0-0->host1-0"):
+            FlowSimulator(fabric).run(
+                [Flow(7, "host0-0", "host1-0", units.GB)]
+            )
+
+    def test_capacity_cache_reused_until_invalidated(self):
+        fabric = _fabric()
+        t_full = transfer_time_s(fabric, "host0-0", "host1-0", units.GB)
+        # In-place rate edits are invisible until the cache is dropped:
+        # the edge count fingerprint cannot see them.
+        for a, b in fabric.graph.edges:
+            fabric.graph.edges[a, b]["rate_gbps"] /= 2.0
+        t_stale = transfer_time_s(fabric, "host0-0", "host1-0", units.GB)
+        assert t_stale == pytest.approx(t_full, rel=1e-9)
+        invalidate_link_capacity_cache(fabric)
+        t_halved = transfer_time_s(fabric, "host0-0", "host1-0", units.GB)
+        assert t_halved == pytest.approx(2 * t_full, rel=1e-6)
+
+    def test_invalidate_without_cache_is_noop(self):
+        fabric = _fabric()
+        invalidate_link_capacity_cache(fabric)  # nothing cached yet
+        invalidate_link_capacity_cache(fabric)
+
+    def test_matches_reference_solver(self):
+        import random
+
+        from repro._perfref import ReferenceFlowSimulator
+
+        rng = random.Random(5)
+
+        def make_flows():
+            flows = []
+            for i in range(40):
+                src = f"host{rng.randrange(2)}-{rng.randrange(4)}"
+                dst = f"host{rng.randrange(2)}-{rng.randrange(4)}"
+                while dst == src:
+                    dst = f"host{rng.randrange(2)}-{rng.randrange(4)}"
+                flows.append(
+                    Flow(i, src, dst, (1 + rng.random() * 49) * 1e6,
+                         start_s=rng.random() * 0.1)
+                )
+            return flows
+
+        rng_state = rng.getstate()
+        fast = make_flows()
+        rng.setstate(rng_state)
+        slow = make_flows()
+        FlowSimulator(_fabric()).run(fast)
+        ReferenceFlowSimulator(_fabric()).run(slow)
+        for f, s in zip(fast, slow):
+            assert f.finish_s == pytest.approx(s.finish_s, rel=1e-9)
+
+    def test_transfer_time_error_when_solver_incomplete(self, monkeypatch):
+        class _StalledSolver:
+            def __init__(self, fabric):
+                pass
+
+            def run(self, flows):
+                return flows  # never sets finish_s
+
+        import repro.network.flows as flows_mod
+
+        monkeypatch.setattr(flows_mod, "FlowSimulator", _StalledSolver)
+        with pytest.raises(TopologyError, match="no finish time"):
+            transfer_time_s(_fabric(), "host0-0", "host1-0", units.GB)

@@ -1,0 +1,161 @@
+"""Tests for the pinned perf microbench harness (`repro.perf`).
+
+Timing on shared CI hardware is noisy, so these tests never assert on
+absolute times or achieved speedups -- they pin the harness mechanics:
+result schema, checksum verification, baseline regression detection and
+the CLI wiring. The benches themselves run in ``--quick`` mode (about
+10x smaller workloads) with a single round.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perf import (
+    REGRESSION_TOLERANCE,
+    BenchSpec,
+    _verify_checksums,
+    build_specs,
+    check_against_baseline,
+    render_results,
+    run_suites,
+    write_results,
+)
+
+EXPECTED_BENCHES = {
+    "engine": {
+        "event_churn", "timeout_churn", "resource_contention",
+        "e2_end_to_end",
+    },
+    "network": {"flow_solver_500", "flow_solver_scaling"},
+}
+
+
+@pytest.fixture(scope="module")
+def quick_suites():
+    return run_suites(rounds=1, quick=True)
+
+
+class TestSuiteSchema:
+    def test_suites_and_benches_present(self, quick_suites):
+        assert set(quick_suites) == set(EXPECTED_BENCHES)
+        for suite, names in EXPECTED_BENCHES.items():
+            assert set(quick_suites[suite]["benches"]) == names
+
+    def test_entry_schema(self, quick_suites):
+        for results in quick_suites.values():
+            for entry in results["benches"].values():
+                assert entry["reference_median_s"] > 0
+                assert entry["candidate_median_s"] > 0
+                assert entry["speedup"] > 0
+                assert entry["rounds"] == 1
+
+    def test_quick_mode_has_no_pinned_floors(self, quick_suites):
+        # Tiny workloads are noise-dominated; floors only apply to the
+        # full-size suite.
+        for results in quick_suites.values():
+            for entry in results["benches"].values():
+                assert "min_speedup" not in entry
+
+    def test_full_specs_pin_headline_targets(self):
+        targets = {
+            spec.name: spec.target_speedup for spec in build_specs()
+        }
+        assert targets["event_churn"] == 3.0
+        assert targets["flow_solver_500"] == 5.0
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ModelError):
+            run_suites(rounds=0, quick=True)
+
+    def test_render_mentions_every_bench(self, quick_suites):
+        text = render_results(quick_suites)
+        for names in EXPECTED_BENCHES.values():
+            for name in names:
+                assert name in text
+
+
+class TestWriteAndCheck:
+    def test_write_results_paths(self, quick_suites, tmp_path):
+        paths = write_results(quick_suites, tmp_path)
+        assert [p.name for p in paths] == [
+            "BENCH_engine.json", "BENCH_network.json",
+        ]
+        loaded = json.loads(paths[0].read_text())
+        assert loaded["suite"] == "engine"
+
+    def test_self_check_passes(self, quick_suites, tmp_path):
+        write_results(quick_suites, tmp_path)
+        assert check_against_baseline(quick_suites, tmp_path) == []
+
+    def test_regression_detected(self, quick_suites, tmp_path):
+        inflated = copy.deepcopy(quick_suites)
+        for results in inflated.values():
+            for entry in results["benches"].values():
+                entry["speedup"] = entry["speedup"] * 100.0
+        write_results(inflated, tmp_path)
+        failures = check_against_baseline(quick_suites, tmp_path)
+        assert len(failures) == sum(len(v) for v in EXPECTED_BENCHES.values())
+        assert all("below floor" in f for f in failures)
+
+    def test_within_tolerance_passes(self, quick_suites, tmp_path):
+        slightly_better = copy.deepcopy(quick_suites)
+        margin = 1.0 + REGRESSION_TOLERANCE / 2
+        for results in slightly_better.values():
+            for entry in results["benches"].values():
+                entry["speedup"] = entry["speedup"] * margin
+                entry.pop("min_speedup", None)
+                entry.pop("target_speedup", None)
+        write_results(slightly_better, tmp_path)
+        assert check_against_baseline(quick_suites, tmp_path) == []
+
+    def test_missing_baseline_reported(self, quick_suites, tmp_path):
+        failures = check_against_baseline(quick_suites, tmp_path / "absent")
+        assert failures and all("no baseline" in f for f in failures)
+
+    def test_missing_bench_reported(self, quick_suites, tmp_path):
+        write_results(quick_suites, tmp_path)
+        pruned = copy.deepcopy(quick_suites)
+        del pruned["engine"]["benches"]["event_churn"]
+        failures = check_against_baseline(pruned, tmp_path)
+        assert failures == ["event_churn: missing from current run"]
+
+    def test_pinned_floor_beats_loose_baseline(self, quick_suites, tmp_path):
+        # A baseline recorded on a slow machine must not weaken the
+        # pinned floor: min_speedup still applies.
+        floored = copy.deepcopy(quick_suites)
+        entry = floored["engine"]["benches"]["event_churn"]
+        entry["speedup"] = 0.1
+        entry["min_speedup"] = 1e9
+        write_results(floored, tmp_path)
+        failures = check_against_baseline(quick_suites, tmp_path)
+        assert any("event_churn" in f for f in failures)
+
+
+class TestChecksumVerification:
+    @staticmethod
+    def _spec(exact):
+        return BenchSpec(
+            name="fake", suite="engine", description="",
+            candidate=lambda: (0.0, None), reference=lambda: (0.0, None),
+            exact=exact,
+        )
+
+    def test_exact_divergence_raises(self):
+        with pytest.raises(ModelError, match="diverged"):
+            _verify_checksums(self._spec(True), (1.0, 2.0), (1.0, 2.5))
+
+    def test_exact_match_passes(self):
+        _verify_checksums(self._spec(True), (1.0, 2.0), (1.0, 2.0))
+
+    def test_relative_tolerance(self):
+        spec = self._spec(False)
+        _verify_checksums(spec, (1.0,), (1.0 + 1e-12,))
+        with pytest.raises(ModelError, match="diverged"):
+            _verify_checksums(spec, (1.0,), (1.001,))
+
+    def test_cardinality_mismatch(self):
+        with pytest.raises(ModelError, match="cardinality"):
+            _verify_checksums(self._spec(False), (1.0,), (1.0, 2.0))

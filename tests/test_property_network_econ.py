@@ -158,5 +158,8 @@ class TestAdoptionProperties:
         early = model.cumulative_fraction(t1)
         late = model.cumulative_fraction(t1 + dt)
         assert late >= early
-        if late < 1.0:
+        # Strictness only away from the saturation plateau: within
+        # ~1e-12 of 1.0 the per-step increment underflows below float
+        # spacing and the curve is exactly flat in doubles.
+        if late < 1.0 - 1e-12:
             assert late > early
