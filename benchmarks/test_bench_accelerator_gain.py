@@ -3,85 +3,57 @@ analytics kernels (and much less on unsuitable ones).
 
 Regenerates a throughput table: building blocks x devices, normalized to
 the CPU. Paper shape: a factor of ten or more on appropriate
-applications; energy-efficiency gains of similar magnitude.
+applications; energy-efficiency gains of similar magnitude. Both
+exhibits assert over the registered E3 entrypoint
+(``python -m repro run E3``).
 """
 
-from repro.analytics import default_blocks
-from repro.node import (
-    arria10_fpga,
-    inference_asic,
-    nvidia_k80,
-    xeon_e5,
-)
 from repro.reporting import render_table
-
-BATCH = 50_000_000  # large enough to amortize launch overhead
+from repro.runner import run_experiment
 
 
 def test_bench_accelerator_throughput_gain(benchmark):
-    registry = default_blocks()
-    devices = [xeon_e5(), nvidia_k80(), arria10_fpga(), inference_asic()]
-
-    def sweep():
-        table = {}
-        for name in registry.names():
-            block = registry.get(name)
-            cpu_rate = block.throughput_records_per_s(devices[0], BATCH)
-            row = {}
-            for device in devices[1:]:
-                if block.runs_on(device):
-                    row[device.name] = (
-                        block.throughput_records_per_s(device, BATCH) / cpu_rate
-                    )
-            table[name] = row
-        return table
-
-    table = benchmark(sweep)
-    rows = []
-    best_gains = []
-    for name, gains in sorted(table.items()):
-        best = max(gains.values()) if gains else 1.0
-        best_gains.append((name, best))
-        rows.append([
+    result = benchmark(run_experiment, "E3")
+    assert result.ok, result.error
+    metrics = result.metrics
+    blocks = sorted(
+        key.split(".", 1)[1]
+        for key in metrics if key.startswith("best_gain.")
+    )
+    nan = float("nan")
+    rows = [
+        [
             name,
-            f"{gains.get('nvidia-k80', float('nan')):.2f}",
-            f"{gains.get('arria10-fpga', float('nan')):.2f}",
-            f"{gains.get('inference-asic', float('nan')):.2f}",
-            f"{best:.2f}",
-        ])
+            f"{metrics.get(f'gain.{name}.nvidia-k80', nan):.2f}",
+            f"{metrics.get(f'gain.{name}.arria10-fpga', nan):.2f}",
+            f"{metrics.get(f'gain.{name}.inference-asic', nan):.2f}",
+            f"{metrics[f'best_gain.{name}']:.2f}",
+        ]
+        for name in blocks
+    ]
     print()
     print(render_table(
         ["block", "gpu x", "fpga x", "asic x", "best x"], rows,
         title="E3: per-block speedup vs CPU (paper: 10x on suitable kernels)",
     ))
-    gains = dict(best_gains)
     # Compute-dense kernels reach ~10x; memory-bound ones don't.
-    assert gains["dnn-inference"] >= 5.0
-    assert gains["regex-extract"] >= 3.0
-    assert gains["hash-aggregate"] < 5.0
+    assert metrics["best_gain.dnn-inference"] >= 5.0
+    assert metrics["best_gain.regex-extract"] >= 3.0
+    assert metrics["best_gain.hash-aggregate"] < 5.0
 
 
 def test_bench_accelerator_energy_gain(benchmark):
-    registry = default_blocks()
-    cpu, fpga = xeon_e5(), arria10_fpga()
-
-    def sweep():
-        rows = []
-        for name in ("regex-extract", "dnn-inference", "compression"):
-            block = registry.get(name)
-            cpu_energy = block.time_s(cpu, BATCH) * cpu.tdp_w
-            fpga_energy = block.time_s(fpga, BATCH) * fpga.tdp_w
-            rows.append([name, cpu_energy / fpga_energy])
-        return rows
-
-    rows = benchmark(sweep)
+    result = benchmark(run_experiment, "E3")
+    assert result.ok, result.error
+    metrics = result.metrics
+    names = ("regex-extract", "dnn-inference", "compression")
+    rows = [[name, metrics[f"energy_gain.{name}"]] for name in names]
     print()
     print(render_table(
         ["block", "fpga energy gain x"], rows,
         title="E3: energy-efficiency gain of the FPGA (paper: ~10x)",
     ))
-    gains = dict(rows)
     # Streaming-native blocks hit the paper's ~10x; blocks throttled by
     # the FPGA's 34 GB/s DRAM still gain 3-5x in joules.
-    assert gains["regex-extract"] > 10.0
-    assert all(gain > 3.0 for gain in gains.values())
+    assert metrics["energy_gain.regex-extract"] > 10.0
+    assert all(metrics[f"energy_gain.{name}"] > 3.0 for name in names)

@@ -3,26 +3,33 @@
 Regenerates the P99 comparison at the deployment operating point and the
 load sweep, plus the iso-SLA throughput gain. Paper shape: ~29% tail
 reduction at iso-throughput; Catapult also reported ~2x throughput at
-equivalent latency.
+equivalent latency. The headline and iso-SLA exhibits assert over the
+registered E2 entrypoint (``python -m repro run E2``); the load sweep
+exercises the model directly across operating points.
 """
 
 from repro.reporting import render_table
-from repro.workloads import max_qps_within_sla, tail_latency_reduction
+from repro.runner import run_experiment
+from repro.workloads import tail_latency_reduction
 
 
 def test_bench_catapult_tail_reduction(benchmark):
-    result = benchmark(tail_latency_reduction, 2000, 12_000)
+    result = benchmark(run_experiment, "E2")
+    assert result.ok, result.error
+    metrics = result.metrics
     print()
     print(render_table(
         ["metric", "cpu", "cpu+fpga"],
         [
-            ["p50 (ms)", result["p50_cpu_s"] * 1e3, result["p50_fpga_s"] * 1e3],
-            ["p99 (ms)", result["p99_cpu_s"] * 1e3, result["p99_fpga_s"] * 1e3],
+            ["p50 (ms)",
+             metrics["p50_cpu_s"] * 1e3, metrics["p50_fpga_s"] * 1e3],
+            ["p99 (ms)",
+             metrics["p99_cpu_s"] * 1e3, metrics["p99_fpga_s"] * 1e3],
         ],
         title="E2: ranking service latency at 2000 qps "
-              f"(tail reduction {result['tail_reduction']:.1%}, paper: 29%)",
+              f"(tail reduction {metrics['tail_reduction']:.1%}, paper: 29%)",
     ))
-    assert 0.15 < result["tail_reduction"] < 0.45
+    assert 0.15 < metrics["tail_reduction"] < 0.45
 
 
 def test_bench_catapult_load_sweep(benchmark):
@@ -49,20 +56,15 @@ def test_bench_catapult_load_sweep(benchmark):
 
 
 def test_bench_catapult_iso_sla_throughput(benchmark):
-    sla_s = 0.012
-
-    def sweep():
-        base = max_qps_within_sla(sla_s, accelerated=False, n_requests=4000,
-                                  qps_hi=20_000)
-        accel = max_qps_within_sla(sla_s, accelerated=True, n_requests=4000,
-                                   qps_hi=20_000)
-        return base, accel
-
-    base, accel = benchmark(sweep)
+    result = benchmark(run_experiment, "E2")
+    assert result.ok, result.error
+    metrics = result.metrics
     print()
     print(render_table(
         ["config", "max qps at 12 ms P99"],
-        [["cpu", base], ["cpu+fpga", accel], ["gain", accel / base]],
+        [["cpu", metrics["iso_sla_qps_cpu"]],
+         ["cpu+fpga", metrics["iso_sla_qps_fpga"]],
+         ["gain", metrics["iso_sla_gain"]]],
         title="E2: iso-SLA throughput (Catapult reported ~2x)",
     ))
-    assert accel > 1.5 * base
+    assert metrics["iso_sla_qps_fpga"] > 1.5 * metrics["iso_sla_qps_cpu"]

@@ -3,36 +3,30 @@
 Regenerates the stranding comparison (converged servers vs composable
 pools on a skewed job mix) and the rolling-upgrade cost table. Paper
 shape: disaggregation "facilitate[s] regular upgrades and potentially
-eliminate[s] the need and cost of replacing entire servers".
+eliminate[s] the need and cost of replacing entire servers". The
+stranding and upgrade exhibits assert over the registered E8 entrypoint
+(``python -m repro run E8``).
 """
 
 from repro.cluster import (
     ResourceVector,
     skewed_demand_stream,
     stranding_experiment,
-    upgrade_cost_comparison,
 )
 from repro.engine import RandomStream
 from repro.reporting import render_table
+from repro.runner import run_experiment
 
 
 def test_bench_stranding(benchmark):
-    def experiment():
-        rng = RandomStream(20160318)
-        demands = skewed_demand_stream(3000, rng)
-        return stranding_experiment(
-            demands, n_servers=24,
-            server_capacity=ResourceVector(32, 256, 4.0),
-        )
-
-    result = benchmark(experiment)
-    rows = []
-    for arch in ("converged", "composable"):
-        stats = result[arch]
-        rows.append([
-            arch, int(stats["placed"]), stats["cores"], stats["memory_gb"],
-            stats["storage_tb"],
-        ])
+    result = benchmark(run_experiment, "E8")
+    assert result.ok, result.error
+    metrics = result.metrics
+    rows = [
+        [arch, metrics[f"placed.{arch}"], metrics[f"core_util.{arch}"],
+         metrics[f"mem_util.{arch}"], metrics[f"storage_util.{arch}"]]
+        for arch in ("converged", "composable")
+    ]
     print()
     print(render_table(
         ["architecture", "jobs placed", "core util", "mem util",
@@ -40,10 +34,9 @@ def test_bench_stranding(benchmark):
         rows,
         title="E8: placement until first rejection (skewed job mix)",
     ))
-    placed_conv = result["converged"]["placed"]
-    placed_comp = result["composable"]["placed"]
-    print(f"composable advantage: {placed_comp / placed_conv:.2f}x jobs placed")
-    assert placed_comp >= 1.1 * placed_conv
+    advantage = metrics["placement_advantage"]
+    print(f"composable advantage: {advantage:.2f}x jobs placed")
+    assert metrics["placed.composable"] >= 1.1 * metrics["placed.converged"]
 
 
 def test_bench_stranding_vs_skew(benchmark):
@@ -77,17 +70,15 @@ def test_bench_stranding_vs_skew(benchmark):
 
 
 def test_bench_upgrade_cost(benchmark):
-    def sweep():
-        return {
-            dim: upgrade_cost_comparison(1000, dim)
-            for dim in ("cores", "memory_gb", "storage_tb")
-        }
-
-    results = benchmark(sweep)
+    result = benchmark(run_experiment, "E8")
+    assert result.ok, result.error
+    metrics = result.metrics
+    dims = sorted(("cores", "memory_gb", "storage_tb"))
     rows = [
-        [dim, r["converged_usd"], r["composable_usd"],
-         f"{r['savings_fraction']:.0%}"]
-        for dim, r in sorted(results.items())
+        [dim, metrics[f"refresh_usd.converged.{dim}"],
+         metrics[f"refresh_usd.composable.{dim}"],
+         f"{metrics[f'refresh_savings.{dim}']:.0%}"]
+        for dim in dims
     ]
     print()
     print(render_table(
@@ -95,4 +86,4 @@ def test_bench_upgrade_cost(benchmark):
         rows,
         title="E8: rolling one-generation refresh cost",
     ))
-    assert all(r["savings_fraction"] >= 0.6 for r in results.values())
+    assert all(metrics[f"refresh_savings.{dim}"] >= 0.6 for dim in dims)

@@ -2,24 +2,30 @@
 
 Regenerates the generation table (volume year, $/Gbps, Gbps/W), the
 400GbE-after-2020 forecast, and the Bass-vs-logistic adoption ablation.
+The generation table and forecast assert over the registered E9
+entrypoint (``python -m repro run E9``).
 """
 
-from repro.core import BassModel, LogisticModel, commodity_year_forecast
-from repro.core.technology import get_technology
-from repro.network import (
-    ETHERNET_ROADMAP,
-    commodity_generation,
-    generations_by_year,
-)
+from repro.core import BassModel, LogisticModel
 from repro.reporting import render_table
+from repro.runner import run_experiment
 
 
 def test_bench_generation_table(benchmark):
-    generations = benchmark(generations_by_year)
+    result = benchmark(run_experiment, "E9")
+    assert result.ok, result.error
+    metrics = result.metrics
+    names = sorted(
+        (key.split(".", 1)[1]
+         for key in metrics if key.startswith("volume_year.")),
+        key=lambda name: metrics[f"volume_year.{name}"],
+    )
     rows = [
-        [g.name, g.standard_year, g.volume_year, g.usd_per_gbps,
-         g.gbps_per_w, "yes" if g.photonic else "no"]
-        for g in generations
+        [name, metrics[f"standard_year.{name}"],
+         metrics[f"volume_year.{name}"], metrics[f"usd_per_gbps.{name}"],
+         metrics[f"gbps_per_w.{name}"],
+         "yes" if metrics[f"photonic.{name}"] else "no"]
+        for name in names
     ]
     print()
     print(render_table(
@@ -29,27 +35,25 @@ def test_bench_generation_table(benchmark):
         title="E9: Ethernet generation roadmap (2016 view)",
     ))
     # R3 shape: 400GbE volume after 2020; photonics required beyond 100G.
-    assert ETHERNET_ROADMAP["400GbE"].volume_year > 2020
-    assert ETHERNET_ROADMAP["400GbE"].photonic
+    assert metrics["volume_year.400GbE"] > 2020
+    assert metrics["photonic.400GbE"]
     # Cost and energy efficiency improve monotonically.
-    cost = [g.usd_per_gbps for g in generations]
+    cost = [metrics[f"usd_per_gbps.{name}"] for name in names]
     assert cost == sorted(cost, reverse=True)
-    efficiency = [g.gbps_per_w for g in generations]
+    efficiency = [metrics[f"gbps_per_w.{name}"] for name in names]
     assert efficiency == sorted(efficiency)
     # R1 shape: 2016's commodity generation is 40GbE.
-    assert commodity_generation(2016).name == "40GbE"
+    assert metrics["commodity_2016"] == "40GbE"
 
 
 def test_bench_400gbe_trl_forecast(benchmark):
-    tech = get_technology("400gbe")
-
-    def forecast():
-        return {
-            "unfunded": commodity_year_forecast(tech.trl_2016, 1.0),
-            "eu-funded": commodity_year_forecast(tech.trl_2016, 1.8),
-        }
-
-    years = benchmark(forecast)
+    result = benchmark(run_experiment, "E9")
+    assert result.ok, result.error
+    metrics = result.metrics
+    years = {
+        "unfunded": metrics["forecast_400gbe.unfunded"],
+        "eu-funded": metrics["forecast_400gbe.funded"],
+    }
     print()
     print(render_table(
         ["scenario", "commodity year"], sorted(years.items()),

@@ -3,41 +3,22 @@
 Regenerates the NPV-vs-utilization sweep behind "small to medium-sized
 data center operators are unwilling to deploy GPGPUs at large scale, as
 the power consumption is too high and utilization too low to justify the
-investment".
+investment". The NPV sweep and speedup sensitivity assert over the
+registered E4 entrypoint (``python -m repro run E4``).
 """
 
-from dataclasses import replace
-
-from repro.econ import (
-    AcceleratorInvestment,
-    breakeven_speedup,
-    breakeven_utilization,
-)
+from repro.econ import AcceleratorInvestment
 from repro.reporting import render_table
+from repro.runner import run_experiment
 
-
-def _sme_gpu_investment() -> AcceleratorInvestment:
-    return AcceleratorInvestment(
-        hardware_usd=50_000.0,  # a small GPU pod
-        port_effort_person_months=9.0,
-        speedup=4.0,
-        baseline_compute_value_usd_per_year=250_000.0,
-        accelerator_power_w=2_400.0,  # 8x 300 W boards
-        utilization=0.5,
-        horizon_years=3,
-    )
+UTILIZATIONS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
 
 
 def test_bench_roi_utilization_sweep(benchmark):
-    investment = _sme_gpu_investment()
-
-    def sweep():
-        return [
-            (u, replace(investment, utilization=u).npv_usd())
-            for u in (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
-        ]
-
-    points = benchmark(sweep)
+    result = benchmark(run_experiment, "E4")
+    assert result.ok, result.error
+    metrics = result.metrics
+    points = [(u, metrics[f"npv_usd.{u:g}"]) for u in UTILIZATIONS]
     print()
     print(render_table(
         ["utilization", "NPV (USD)"], points,
@@ -46,24 +27,19 @@ def test_bench_roi_utilization_sweep(benchmark):
     # Shape: negative at SME utilizations, positive when heavily used.
     assert points[0][1] < 0
     assert points[-1][1] > 0
-    breakeven = breakeven_utilization(investment)
+    breakeven = metrics["breakeven_utilization"]
     assert breakeven is not None and 0.05 < breakeven < 0.7
     print(f"breakeven utilization: {breakeven:.2f}")
 
 
 def test_bench_roi_speedup_sensitivity(benchmark):
-    investment = _sme_gpu_investment()
-
-    def sweep():
-        rows = []
-        for utilization in (0.15, 0.3, 0.6):
-            k_star = breakeven_speedup(
-                replace(investment, utilization=utilization)
-            )
-            rows.append([utilization, k_star if k_star else float("inf")])
-        return rows
-
-    rows = benchmark(sweep)
+    result = benchmark(run_experiment, "E4")
+    assert result.ok, result.error
+    metrics = result.metrics
+    rows = []
+    for utilization in (0.15, 0.3, 0.6):
+        k_star = metrics[f"breakeven_speedup.{utilization:g}"]
+        rows.append([utilization, k_star if k_star else float("inf")])
     print()
     print(render_table(
         ["utilization", "breakeven speedup"], rows,

@@ -2,30 +2,39 @@
 
 Regenerates the concentration table (Nvidia >95% of GPU TOP500, Intel's
 server dominance) and the lock-in premium calculation behind the
-vendor-switch NRE argument.
+vendor-switch NRE argument. The concentration exhibit asserts over the
+registered E13 entrypoint (``python -m repro run E13``).
 """
 
-from repro.ecosystem import MARKETS_2016, concentration_report, lock_in_premium
-from repro.reporting import render_records, render_table
+from repro.ecosystem import MARKETS_2016, lock_in_premium
+from repro.reporting import render_table
+from repro.runner import run_experiment
 
 
 def test_bench_market_concentration(benchmark):
-    report = benchmark(concentration_report)
+    result = benchmark(run_experiment, "E13")
+    assert result.ok, result.error
+    metrics = result.metrics
+    markets = sorted(
+        key.split(".", 1)[1] for key in metrics if key.startswith("hhi.")
+    )
+    rows = [
+        [market, metrics[f"leader.{market}"],
+         metrics[f"leader_share.{market}"], metrics[f"hhi.{market}"]]
+        for market in markets
+    ]
     print()
-    print(render_records(
-        report,
-        columns=["market", "leader", "leader_share", "hhi",
-                 "highly_concentrated"],
+    print(render_table(
+        ["market", "leader", "leader share", "hhi"], rows,
         title="E13: 2016 market concentration",
     ))
-    by_market = {row["market"]: row for row in report}
     # Paper claims: Nvidia >95%, Intel dominant; both highly concentrated.
-    assert by_market["gpgpu-top500"]["leader_share"] > 0.95
-    assert by_market["gpgpu-top500"]["hhi"] > 9_000
-    assert by_market["server-cpu"]["leader"] == "intel"
-    assert by_market["server-cpu"]["hhi"] > 9_000
+    assert metrics["leader_share.gpgpu-top500"] > 0.95
+    assert metrics["hhi.gpgpu-top500"] > 9_000
+    assert metrics["leader.server-cpu"] == "intel"
+    assert metrics["hhi.server-cpu"] > 9_000
     # The switch market (with white-box entrants) is visibly less locked.
-    assert by_market["datacenter-switch"]["hhi"] < 4_000
+    assert metrics["hhi.datacenter-switch"] < 4_000
 
 
 def test_bench_lock_in_premium(benchmark):

@@ -3,7 +3,8 @@
 Regenerates the end-to-end pipeline comparison: the same dataflow plans
 run under cpu-only vs greedy offload policies on an FPGA-equipped
 cluster, with identical results and lower simulated time. Includes the
-flow-vs-analytic shuffle ablation.
+flow-vs-analytic shuffle ablation. The headline pipeline asserts over
+the registered E11 entrypoint (``python -m repro run E11``).
 """
 
 from repro import units
@@ -12,13 +13,12 @@ from repro.frameworks import (
     BatchExecutor,
     PartitionedDataset,
     Plan,
-    cpu_only,
     greedy_time,
-    shuffle_time_on_fabric,
 )
 from repro.network import Flow, FlowSimulator, fat_tree, leaf_spine
 from repro.node import accelerated_server, arria10_fpga, xeon_e5
 from repro.reporting import render_table
+from repro.runner import run_experiment
 from repro.workloads import zipf_documents
 
 
@@ -41,32 +41,24 @@ def _log_pipeline() -> Plan:
 
 
 def test_bench_offload_pipeline(benchmark):
-    cluster = _cluster()
-    docs = zipf_documents(4_000, 40, seed=3)
-    dataset = PartitionedDataset.from_records(docs, 8, record_bytes=240)
-    plan = _log_pipeline()
-
-    def run_both():
-        base = BatchExecutor(cluster, policy=cpu_only()).run(plan, dataset)
-        offloaded = BatchExecutor(cluster, policy=greedy_time()).run(
-            plan, dataset
-        )
-        return base, offloaded
-
-    base, offloaded = benchmark(run_both)
+    result = benchmark(run_experiment, "E11")
+    assert result.ok, result.error
+    metrics = result.metrics
     rows = [
-        ["cpu-only", base.sim_time_s, base.energy_j],
-        ["greedy-offload", offloaded.sim_time_s, offloaded.energy_j],
-        ["gain", base.sim_time_s / offloaded.sim_time_s,
-         base.energy_j / offloaded.energy_j],
+        ["cpu-only", metrics["sim_time_s.cpu_only"],
+         metrics["energy_j.cpu_only"]],
+        ["greedy-offload", metrics["sim_time_s.greedy_time"],
+         metrics["energy_j.greedy_time"]],
+        ["gain", metrics["gain"],
+         metrics["energy_j.cpu_only"] / metrics["energy_j.greedy_time"]],
     ]
     print()
     print(render_table(
         ["policy", "sim time (s)", "energy (J)"], rows,
         title="E11: log-analytics pipeline with accelerated blocks",
     ))
-    assert sorted(offloaded.records) == sorted(base.records)
-    assert offloaded.sim_time_s < base.sim_time_s
+    assert metrics["records_match"]
+    assert metrics["sim_time_s.greedy_time"] < metrics["sim_time_s.cpu_only"]
 
 
 def test_bench_offload_per_stage_accounting(benchmark):

@@ -2,74 +2,59 @@
 
 Regenerates the abstraction-coverage matrix (which programming models
 reach which devices, and how well), the porting-strategy cost/throughput
-trade-off, and the R6 what-if (better FPGA tools).
+trade-off, and the R6 what-if (better FPGA tools). The coverage and
+porting exhibits assert over the registered E15 entrypoint
+(``python -m repro run E15``).
 """
 
 from repro.node import (
-    AbstractionMatrix,
     PortingStrategy,
     ProgrammingModel,
     achievable_throughput_fraction,
     arria10_fpga,
-    default_registry,
     hls_uplift_scenario,
-    port_effort_person_months,
 )
 from repro.reporting import render_table
+from repro.runner import run_experiment
 
 
 def test_bench_abstraction_matrix(benchmark):
-    devices = list(default_registry())
-    matrix = AbstractionMatrix(devices)
-
-    def build():
-        return {
-            model: matrix.coverage(model)
-            for model in ProgrammingModel
-        }
-
-    coverage = benchmark(build)
-    rows = []
-    for model in ProgrammingModel:
-        per_device = coverage[model]
-        reached = sum(1 for v in per_device.values() if v > 0)
-        mean_eff = sum(per_device.values()) / len(per_device)
-        rows.append([model.value, reached, len(devices), mean_eff])
+    result = benchmark(run_experiment, "E15")
+    assert result.ok, result.error
+    metrics = result.metrics
+    n_devices = metrics["n_devices"]
+    rows = [
+        [model.value, metrics[f"devices_reached.{model.value}"], n_devices,
+         metrics[f"mean_efficiency.{model.value}"]]
+        for model in ProgrammingModel
+    ]
     print()
     print(render_table(
         ["model", "devices reached", "of", "mean efficiency"], rows,
         title="E15: programming-model coverage of the device catalog",
     ))
-    best_model, reached, _ = matrix.best_universal_model()
-    print(f"best universal model: {best_model.value} "
-          f"({reached}/{len(devices)} devices), "
-          f"fragmentation index: {matrix.fragmentation_index():.2f}")
+    print(f"best universal model: {metrics['best_universal_model']} "
+          f"({metrics['best_universal_reached']}/{n_devices} devices), "
+          f"fragmentation index: {metrics['fragmentation_index']:.2f}")
     # The SIV.C claim: OpenCL is the widest net yet misses devices.
-    assert best_model == ProgrammingModel.OPENCL
-    assert reached < len(devices)
+    assert metrics["best_universal_model"] == ProgrammingModel.OPENCL.value
+    assert metrics["best_universal_reached"] < n_devices
 
 
 def test_bench_porting_strategies(benchmark):
-    devices = list(default_registry())
-    n_kernels = 10
-
-    def sweep():
-        rows = []
-        for name in ("cpu_only", "portable_kernel", "native_everywhere"):
-            strategy = PortingStrategy(name)
-            effort = port_effort_person_months(strategy, n_kernels, devices)
-            mean_throughput = sum(
-                achievable_throughput_fraction(strategy, d) for d in devices
-            ) / len(devices)
-            rows.append((name, effort, mean_throughput))
-        return rows
-
-    rows = benchmark(sweep)
+    result = benchmark(run_experiment, "E15")
+    assert result.ok, result.error
+    metrics = result.metrics
+    rows = [
+        (name, metrics[f"port_effort_pm.{name}"],
+         metrics[f"mean_throughput_frac.{name}"])
+        for name in ("cpu_only", "portable_kernel", "native_everywhere")
+    ]
     print()
     print(render_table(
         ["strategy", "effort (person-months)", "mean device throughput frac"],
         rows,
-        title=f"E15: porting {n_kernels} kernels to the full catalog",
+        title="E15: porting 10 kernels to the full catalog",
     ))
     efforts = {name: effort for name, effort, _ in rows}
     # Native everywhere costs an order of magnitude more than portable.

@@ -2,32 +2,33 @@
 
 Regenerates the recommendation ranking from survey + catalog evidence and
 the budget-constrained funding portfolio (knapsack vs greedy ablation).
+The ranking and portfolio exhibits assert over the registered E16
+entrypoint (``python -m repro run E16``).
 """
 
-from repro.core import (
-    RECOMMENDATIONS,
-    build_roadmap,
-    greedy_portfolio,
-    optimize_portfolio,
-    score_all,
-)
+from repro.core import RECOMMENDATIONS, build_roadmap
 from repro.reporting import render_table
-from repro.survey import generate_corpus
+from repro.runner import run_experiment
+
+BUDGETS_MEUR = (50.0, 100.0, 200.0, 335.0)
 
 
 def test_bench_recommendation_ranking(benchmark):
-    corpus = generate_corpus()
-    scored = benchmark(score_all, corpus)
+    result = benchmark(run_experiment, "E16")
+    assert result.ok, result.error
+    metrics = result.metrics
+    ranking = metrics["ranking"]
+    titles = {r.rec_id: r.title for r in RECOMMENDATIONS}
     rows = [
         [
-            s.recommendation.rec_id,
-            s.recommendation.title[:52],
-            s.evidence_score,
-            s.strategic_score,
-            s.urgency_score,
-            s.priority,
+            rec_id,
+            titles[rec_id][:52],
+            metrics[f"evidence.R{rec_id}"],
+            metrics[f"strategic.R{rec_id}"],
+            metrics[f"urgency.R{rec_id}"],
+            metrics[f"priority.R{rec_id}"],
         ]
-        for s in scored
+        for rec_id in ranking
     ]
     print()
     print(render_table(
@@ -35,31 +36,23 @@ def test_bench_recommendation_ranking(benchmark):
         rows,
         title="E16: the twelve recommendations, priority-ranked",
     ))
-    assert len(scored) == 12
-    top_ids = {s.recommendation.rec_id for s in scored[:6]}
+    assert metrics["n_recommendations"] == 12
+    top_ids = set(ranking[:6])
     assert 9 in top_ids  # standard benchmarks
     assert 4 in top_ids  # accelerator de-risking
-    bottom_ids = {s.recommendation.rec_id for s in scored[-4:]}
+    bottom_ids = set(ranking[-4:])
     assert 7 in bottom_ids  # neuromorphic is long-horizon
 
 
 def test_bench_portfolio_optimization(benchmark):
-    corpus = generate_corpus()
-    scored = score_all(corpus)
-
-    def sweep():
-        return [
-            (budget,
-             optimize_portfolio(scored, budget),
-             greedy_portfolio(scored, budget))
-            for budget in (50.0, 100.0, 200.0, 335.0)
-        ]
-
-    results = benchmark(sweep)
+    result = benchmark(run_experiment, "E16")
+    assert result.ok, result.error
+    metrics = result.metrics
     rows = [
-        [budget, exact.total_priority, greedy.total_priority,
-         ",".join(str(i) for i in exact.rec_ids)]
-        for budget, exact, greedy in results
+        [budget, metrics[f"knapsack_priority.{budget:g}"],
+         metrics[f"greedy_priority.{budget:g}"],
+         ",".join(str(i) for i in metrics[f"funded.{budget:g}"])]
+        for budget in BUDGETS_MEUR
     ]
     print()
     print(render_table(
@@ -67,10 +60,11 @@ def test_bench_portfolio_optimization(benchmark):
         rows,
         title="E16: funding portfolio vs budget",
     ))
-    for _, exact, greedy in results:
-        assert exact.total_priority >= greedy.total_priority - 1e-9
+    for budget in BUDGETS_MEUR:
+        assert (metrics[f"knapsack_priority.{budget:g}"]
+                >= metrics[f"greedy_priority.{budget:g}"] - 1e-9)
     # The full-budget portfolio funds everything (total cost 335 MEUR).
-    assert len(results[-1][1].selected) == len(RECOMMENDATIONS)
+    assert metrics["full_budget_funds_all"]
 
 
 def test_bench_full_roadmap_pipeline(benchmark):

@@ -3,11 +3,13 @@
 Regenerates the makespan comparison (FIFO vs greedy-EFT vs HEFT) on a
 mixed CPU/GPU/FPGA pool, plus the ranking-heuristic ablation. Paper
 shape: heterogeneity-aware allocation wins, and the gap grows with
-workload suitability for the accelerators.
+workload suitability for the accelerators. The headline comparison
+asserts over the registered E10 entrypoint (``python -m repro run E10``).
 """
 
 from repro.node import arria10_fpga, nvidia_k80, xeon_e5
 from repro.reporting import render_table
+from repro.runner import run_experiment
 from repro.scheduler import (
     Executor,
     HeterogeneousScheduler,
@@ -25,18 +27,14 @@ def _pool():
 
 
 def test_bench_scheduler_comparison(benchmark):
-    scheduler = HeterogeneousScheduler(_pool())
-    job = fork_join_job("analytics", 10, "dense-gemm", "hash-aggregate",
-                        8_000_000)
-
-    def compare():
-        return {
-            "fifo": scheduler.fifo(job).makespan_s,
-            "greedy_eft": scheduler.greedy_eft(job).makespan_s,
-            "heft": scheduler.heft(job).makespan_s,
-        }
-
-    makespans = benchmark(compare)
+    result = benchmark(run_experiment, "E10")
+    assert result.ok, result.error
+    metrics = result.metrics
+    makespans = {
+        "fifo": metrics["makespan_s.fifo"],
+        "greedy_eft": metrics["makespan_s.greedy_eft"],
+        "heft": metrics["makespan_s.heft"],
+    }
     rows = [
         [name, value, makespans["fifo"] / value]
         for name, value in sorted(makespans.items())

@@ -4,43 +4,30 @@ Regenerates the policy-rollout-time comparison behind Google's "10,000
 switches look like one", and the NFV vs hardware-appliance comparison.
 Paper shape: SDN rollout time is ~flat in fleet size (within a control
 wave) while legacy CLI management scales linearly; NFV provisions in
-minutes vs procurement weeks.
+minutes vs procurement weeks. The rollout sweep asserts over the
+registered E7 entrypoint (``python -m repro run E7``).
 """
 
 from repro.network import (
-    LegacyManagement,
     SdnController,
     VnfHost,
-    fat_tree,
     leaf_spine,
     standard_dmz_chain,
 )
 from repro.reporting import render_table
-
-
-def _fabrics():
-    return {
-        "small (12 sw)": leaf_spine(4, 8, 4),
-        "medium (80 sw)": fat_tree(8),
-        "large (180 sw)": fat_tree(12) if False else fat_tree(10),
-    }
+from repro.runner import run_experiment
 
 
 def test_bench_sdn_vs_legacy_rollout(benchmark):
-    legacy = LegacyManagement()
-
-    def sweep():
-        rows = []
-        for label, fabric in _fabrics().items():
-            controller = SdnController(fabric)
-            n = len(fabric.switches)
-            rows.append(
-                (label, n, controller.policy_rollout_s(10),
-                 legacy.policy_rollout_s(n))
-            )
-        return rows
-
-    rows = benchmark(sweep)
+    result = benchmark(run_experiment, "E7")
+    assert result.ok, result.error
+    metrics = result.metrics
+    rows = [
+        (label, metrics[f"switches.{label}"],
+         metrics[f"sdn_rollout_s.{label}"],
+         metrics[f"legacy_rollout_s.{label}"])
+        for label in ("small", "medium", "large")
+    ]
     printable = [
         [label, n, sdn, legacy_t, legacy_t / sdn]
         for label, n, sdn, legacy_t in rows

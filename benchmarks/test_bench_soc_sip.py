@@ -4,46 +4,34 @@ Regenerates the per-unit cost-vs-volume sweep, the crossover volume, and
 the interface-upgrade cost comparison; plus the yield-model ablation.
 Paper shape: SiP wins at SME volumes ("may give smaller companies a
 better opportunity to compete"), SoC interface changes "require a costly
-redesign".
+redesign". The cost sweep and upgrade exhibits assert over the
+registered E5 entrypoint (``python -m repro run E5``).
 """
 
-import pytest
-
-from repro.econ import (
-    PROCESS_CATALOG,
-    die_cost_usd,
-    euroserver_reference_design,
-)
+from repro.econ import PROCESS_CATALOG, die_cost_usd
 from repro.reporting import render_table
+from repro.runner import run_experiment
 
-
-def _design():
-    return euroserver_reference_design(
-        PROCESS_CATALOG["16nm"], PROCESS_CATALOG["28nm"]
-    )
+VOLUMES = (1e4, 1e5, 1e6, 1e7, 1e8)
 
 
 def test_bench_soc_sip_volume_sweep(benchmark):
-    design = _design()
-
-    def sweep():
-        return [
-            (volume, design.cost_per_unit_at_volume(volume))
-            for volume in (1e4, 1e5, 1e6, 1e7, 1e8)
-        ]
-
-    points = benchmark(sweep)
-    rows = [
-        [f"{volume:.0e}", costs["soc"], costs["sip"],
-         "sip" if costs["sip"] < costs["soc"] else "soc"]
-        for volume, costs in points
-    ]
+    result = benchmark(run_experiment, "E5")
+    assert result.ok, result.error
+    metrics = result.metrics
+    rows = []
+    for volume in VOLUMES:
+        soc = metrics[f"usd_per_unit.soc.{volume:.0e}"]
+        sip = metrics[f"usd_per_unit.sip.{volume:.0e}"]
+        rows.append(
+            [f"{volume:.0e}", soc, sip, "sip" if sip < soc else "soc"]
+        )
     print()
     print(render_table(
         ["volume", "soc $/unit", "sip $/unit", "winner"], rows,
         title="E5: per-unit cost vs lifetime volume",
     ))
-    crossover = design.crossover_volume()
+    crossover = metrics["crossover_volume"]
     print(f"crossover volume: {crossover:.3e} units")
     # Shape: SiP cheap at low volume, SoC at hyperscale, crossover between.
     assert rows[0][3] == "sip"
@@ -52,8 +40,13 @@ def test_bench_soc_sip_volume_sweep(benchmark):
 
 
 def test_bench_interface_upgrade_cost(benchmark):
-    design = _design()
-    costs = benchmark(design.interface_upgrade_cost_usd, "network-io")
+    result = benchmark(run_experiment, "E5")
+    assert result.ok, result.error
+    metrics = result.metrics
+    costs = {
+        "sip": metrics["upgrade_usd.sip"],
+        "soc": metrics["upgrade_usd.soc"],
+    }
     print()
     print(render_table(
         ["style", "40GbE interface upgrade (USD)"],

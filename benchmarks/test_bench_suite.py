@@ -1,41 +1,62 @@
 """E12 -- R9: the standard benchmark suite across architectures.
 
 Regenerates the side-by-side architecture comparison the paper says
-industry lacks: five workloads, four architectures, one table.
+industry lacks: five workloads, four architectures, one table. The
+headline comparison asserts over the registered E12 entrypoint
+(``python -m repro run E12``).
 """
 
 from repro.cluster import uniform_cluster
-from repro.frameworks import cpu_only, greedy_energy, greedy_time
+from repro.frameworks import cpu_only, greedy_energy
 from repro.network import leaf_spine
 from repro.node import (
     accelerated_server,
     arria10_fpga,
     commodity_server,
-    nvidia_k80,
     xeon_e5,
 )
 from repro.reporting import render_table
+from repro.runner import run_experiment
 from repro.workloads import compare_architectures
 
+ARCHITECTURES = ("cpu", "cpu+gpu", "cpu+fpga", "cpu+fpga-energy")
 
-def _configurations():
+
+def test_bench_suite_comparison(benchmark):
+    result = benchmark(run_experiment, "E12")
+    assert result.ok, result.error
+    metrics = result.metrics
+    benchmarks = [
+        key.split(".", 2)[2]
+        for key in metrics if key.startswith("sim_time_s.cpu.")
+    ]
+    rows = [
+        [bench_name] + [
+            metrics[f"sim_time_s.{arch}.{bench_name}"]
+            for arch in ARCHITECTURES
+        ]
+        for bench_name in benchmarks
+    ]
+    print()
+    print(render_table(
+        ["workload"] + list(ARCHITECTURES), rows,
+        title="E12: suite sim time (s) across architectures (scale 20)",
+    ))
+    # Shape: accelerators win the acceleratable workloads...
+    assert (metrics["sim_time_s.cpu+fpga.wordcount"]
+            < metrics["sim_time_s.cpu.wordcount"])
+    assert (metrics["sim_time_s.cpu+gpu.kmeans"]
+            <= metrics["sim_time_s.cpu.kmeans"])
+    # ...and never make results wrong (identical record counts).
+    assert metrics["outputs_agree"]
+
+
+def test_bench_suite_energy_ranking(benchmark):
     fabric = lambda: leaf_spine(2, 2, 2)
-    return {
+    configurations = {
         "cpu": (
             uniform_cluster(fabric(), lambda: commodity_server(xeon_e5())),
             cpu_only(),
-        ),
-        "cpu+gpu": (
-            uniform_cluster(
-                fabric(), lambda: accelerated_server(xeon_e5(), nvidia_k80())
-            ),
-            greedy_time(),
-        ),
-        "cpu+fpga": (
-            uniform_cluster(
-                fabric(), lambda: accelerated_server(xeon_e5(), arria10_fpga())
-            ),
-            greedy_time(),
         ),
         "cpu+fpga (energy)": (
             uniform_cluster(
@@ -44,54 +65,7 @@ def _configurations():
             greedy_energy(),
         ),
     }
-
-
-def test_bench_suite_comparison(benchmark):
-    results = benchmark(compare_architectures, _configurations(), 20)
-    benchmarks = [s.benchmark for s in results["cpu"]]
-    rows = []
-    for bench_name in benchmarks:
-        row = [bench_name]
-        for arch in results:
-            score = next(
-                s for s in results[arch] if s.benchmark == bench_name
-            )
-            row.append(score.sim_time_s)
-        rows.append(row)
-    print()
-    print(render_table(
-        ["workload"] + list(results), rows,
-        title="E12: suite sim time (s) across architectures (scale 20)",
-    ))
-    times = {
-        (arch, s.benchmark): s.sim_time_s
-        for arch, scores in results.items()
-        for s in scores
-    }
-    # Shape: accelerators win the acceleratable workloads...
-    assert times[("cpu+fpga", "wordcount")] < times[("cpu", "wordcount")]
-    assert times[("cpu+gpu", "kmeans")] <= times[("cpu", "kmeans")]
-    # ...and never make results wrong (identical record counts).
-    for bench_name in benchmarks:
-        counts = {
-            arch: next(
-                s for s in results[arch] if s.benchmark == bench_name
-            ).n_output_records
-            for arch in results
-        }
-        assert len(set(counts.values())) == 1, (bench_name, counts)
-
-
-def test_bench_suite_energy_ranking(benchmark):
-    results = benchmark(
-        compare_architectures,
-        {
-            name: config
-            for name, config in _configurations().items()
-            if name in ("cpu", "cpu+fpga (energy)")
-        },
-        20,
-    )
+    results = benchmark(compare_architectures, configurations, 20)
     rows = []
     for bench_name in [s.benchmark for s in results["cpu"]]:
         cpu_energy = next(

@@ -1,43 +1,53 @@
 """E1 -- SV.A: the survey's headline numbers and four Key Findings.
 
 Regenerates the abstract's counts (89 interviews / 70 companies), the
-sector mix, and the per-finding supporting statistics.
+sector mix, and the per-finding supporting statistics -- through the
+registered E1 entrypoint, so this bench asserts exactly what
+``python -m repro run E1`` computes.
 """
 
 from repro.reporting import render_table
-from repro.survey import (
-    generate_corpus,
-    headline_counts,
-    key_findings,
-    sector_mix,
-)
+from repro.runner import run_experiment
 
 
 def test_bench_survey_findings(benchmark):
-    def pipeline():
-        corpus = generate_corpus()
-        return corpus, key_findings(corpus)
-
-    corpus, findings = benchmark(pipeline)
-    counts = headline_counts(corpus)
+    result = benchmark(run_experiment, "E1")
+    assert result.ok, result.error
+    metrics = result.metrics
     print()
     print(render_table(
         ["metric", "value"],
-        [["interviews", counts["n_interviews"]],
-         ["companies", counts["n_companies"]]],
+        [["interviews", metrics["n_interviews"]],
+         ["companies", metrics["n_companies"]]],
         title="E1: headline counts (paper: 89 / 70)",
     ))
+    sectors = sorted(
+        (key.split(".", 1)[1], value)
+        for key, value in metrics.items()
+        if key.startswith("sector_mix.")
+    )
     print(render_table(
-        ["sector", "companies"], sorted(sector_mix(corpus).items()),
+        ["sector", "companies"], sectors,
         title="E1: sector mix",
     ))
+    finding_ids = sorted(
+        key[len("finding"):-len(".holds")]
+        for key in metrics
+        if key.startswith("finding") and key.endswith(".holds")
+    )
     rows = []
-    for finding in findings:
-        for stat, value in sorted(finding.statistics.items()):
-            rows.append([finding.finding_id, stat, value, finding.holds])
+    for finding_id in finding_ids:
+        prefix = f"finding{finding_id}."
+        holds = metrics[prefix + "holds"]
+        for key in sorted(metrics):
+            if key.startswith(prefix) and not key.endswith(".holds"):
+                rows.append(
+                    [finding_id, key[len(prefix):], metrics[key], holds]
+                )
     print(render_table(
         ["finding", "statistic", "value", "holds"], rows,
         title="E1: key findings",
     ))
-    assert counts == {"n_interviews": 89, "n_companies": 70}
-    assert all(f.holds for f in findings)
+    assert metrics["n_interviews"] == 89
+    assert metrics["n_companies"] == 70
+    assert metrics["findings_hold"]

@@ -2,39 +2,35 @@
 
 Regenerates the five-year fleet TCO sweep. Paper shape: commodity
 (bare-metal/white-box) procurement undercuts branded switching, but the
-Facebook-style in-house NOS only pays at hyperscale fleet sizes.
+Facebook-style in-house NOS only pays at hyperscale fleet sizes. The
+fleet sweep asserts over the registered E6 entrypoint
+(``python -m repro run E6``).
 """
 
 from repro.network import (
     bare_metal_switch,
     branded_switch,
-    fleet_tco_usd,
     white_box_switch,
 )
 from repro.reporting import render_table
+from repro.runner import run_experiment
+
+FLEETS = (50, 200, 1_000, 5_000, 20_000)
 
 
 def test_bench_fleet_tco_sweep(benchmark):
-    models = {
-        "branded": branded_switch(),
-        "white-box": white_box_switch(),
-        "bare-metal": bare_metal_switch(),
-    }
-
-    def sweep():
-        table = []
-        for fleet in (50, 200, 1_000, 5_000, 20_000):
-            row = {"fleet": fleet}
-            for name, model in models.items():
-                row[name] = fleet_tco_usd(model, fleet) / fleet
-            table.append(row)
-        return table
-
-    table = benchmark(sweep)
+    result = benchmark(run_experiment, "E6")
+    assert result.ok, result.error
+    metrics = result.metrics
     rows = [
-        [r["fleet"], r["branded"], r["white-box"], r["bare-metal"],
-         min(("branded", "white-box", "bare-metal"), key=lambda k: r[k])]
-        for r in table
+        [
+            fleet,
+            metrics[f"tco_usd_per_switch.{fleet}.branded"],
+            metrics[f"tco_usd_per_switch.{fleet}.white-box"],
+            metrics[f"tco_usd_per_switch.{fleet}.bare-metal"],
+            metrics[f"winner.{fleet}"],
+        ]
+        for fleet in FLEETS
     ]
     print()
     print(render_table(

@@ -6,7 +6,25 @@ nodes, a mini Big Data dataflow engine, economic (TCO/ROI/NRE) models, a
 synthetic stakeholder-survey pipeline, and the roadmap/recommendation
 engine that ties them together.
 
-Public entry points live in the subpackages:
+The headline entry points are re-exported here, so
+``import repro; repro.run_experiment("E2")`` works without spelunking
+submodules:
+
+- :func:`run_experiment` / :func:`run_grid` -- execute registered
+  experiments (one inline, or a parallel cached sweep) to
+  :class:`RunResult` records; from :mod:`repro.runner`.
+- :data:`EXPERIMENTS` / :func:`get_experiment` -- the experiment
+  registry; from :mod:`repro.reporting`.
+- :func:`run_trace` -- one instrumented experiment run;
+  from :mod:`repro.reporting`.
+- :class:`Simulator` / :class:`Observability` -- the deterministic DES
+  kernel and its metrics/span substrate; from :mod:`repro.engine`.
+- :func:`build_roadmap` -- the full roadmap pipeline;
+  from :mod:`repro.core`.
+- :func:`generate_corpus` -- the calibrated 89-interview survey corpus;
+  from :mod:`repro.survey`.
+
+The full surface lives in the subpackages:
 
 - :mod:`repro.engine` -- deterministic discrete-event simulation kernel.
 - :mod:`repro.econ` -- TCO, ROI, NRE, silicon cost models.
@@ -21,9 +39,47 @@ Public entry points live in the subpackages:
 - :mod:`repro.core` -- technology catalog, adoption forecasts,
   recommendations and portfolio prioritization.
 - :mod:`repro.ecosystem` -- actor/initiative graph and market analysis.
-- :mod:`repro.reporting` -- tables and the experiment registry.
+- :mod:`repro.reporting` -- tables, the experiment registry, trace runs.
+- :mod:`repro.runner` -- the parallel experiment runner with caching.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+from repro.core import build_roadmap
+from repro.engine import Observability, RandomStream, Simulator
+from repro.reporting import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    render_table,
+    run_trace,
+    traceable_experiments,
+)
+from repro.runner import (
+    GridResult,
+    RunResult,
+    run_experiment,
+    run_grid,
+    runnable_experiments,
+)
+from repro.survey import generate_corpus
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "GridResult",
+    "Observability",
+    "RandomStream",
+    "RunResult",
+    "Simulator",
+    "__version__",
+    "build_roadmap",
+    "generate_corpus",
+    "get_experiment",
+    "render_table",
+    "run_experiment",
+    "run_grid",
+    "run_trace",
+    "runnable_experiments",
+    "traceable_experiments",
+]

@@ -6,18 +6,31 @@ Commands:
 - ``roadmap``      -- run the full roadmap pipeline, print the results.
 - ``findings``     -- generate the survey corpus, print the Key Findings.
 - ``experiments``  -- the experiment registry with paper anchors.
+- ``run``          -- the parallel experiment runner: fan an
+  (experiment x seed) grid over a process pool with result caching,
+  write a merged ``results.json``. Options: ``--jobs``, ``--seeds``,
+  ``--cache-dir``, ``--no-cache``, ``--out-dir``, ``--timeout-s``,
+  ``--retries``, ``--quick``, ``--set KEY=VALUE``.
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
 - ``perf``         -- run the pinned perf microbenches (production
   kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``
-  and ``BENCH_network.json``. Options: ``--out-dir``, ``--rounds``,
-  ``--quick``, ``--check <baseline dir>``.
+  and ``BENCH_network.json``.
+
+The ``run``, ``trace`` and ``perf`` commands share argument
+conventions: experiments resolve through the registry (so misspelled
+ids list the valid set), artifacts land in ``--out-dir`` (default: the
+working directory) and randomness is controlled by ``--seed`` /
+``--seeds``. ``trace --out PATH`` remains as a deprecated alias for
+one release.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 
 def _cmd_summary() -> int:
@@ -30,11 +43,14 @@ def _cmd_summary() -> int:
     packages = (
         "engine", "econ", "network", "node", "cluster", "frameworks",
         "scheduler", "analytics", "workloads", "survey", "core",
-        "ecosystem", "reporting",
+        "ecosystem", "reporting", "runner",
     )
     print(f"subpackages ({len(packages)}): {', '.join(packages)}")
     print(f"experiments: {len(EXPERIMENTS)} "
           f"({', '.join(e.experiment_id for e in EXPERIMENTS)})")
+    runnable = [e.experiment_id for e in EXPERIMENTS if e.runnable]
+    print(f"runnable via `python -m repro run` ({len(runnable)}): "
+          f"{', '.join(runnable)}")
     return 0
 
 
@@ -73,30 +89,167 @@ def _cmd_experiments() -> int:
     from repro.reporting import EXPERIMENTS, render_table
 
     rows = [
-        [e.experiment_id, e.paper_anchor, e.claim[:60], e.bench]
+        [e.experiment_id, e.paper_anchor, e.claim[:52],
+         "yes" if e.runnable else "", "yes" if e.traceable else ""]
         for e in EXPERIMENTS
     ]
-    print(render_table(["id", "anchor", "claim", "bench"], rows))
+    print(render_table(
+        ["id", "anchor", "claim", "runnable", "traceable"], rows
+    ))
     return 0
 
 
-def _cmd_trace(experiment_id, out_path) -> int:
+def _parse_set_overrides(pairs) -> dict:
+    """``KEY=VALUE`` config overrides; values parse as JSON, else str."""
+    config = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            config[key] = json.loads(raw)
+        except ValueError:
+            config[key] = raw
+    return config
+
+
+def _cmd_run(args) -> int:
+    from repro.engine.observability import Registry
+    from repro.errors import RegistryError
+    from repro.reporting import render_table
+    from repro.runner import run_grid
+
+    try:
+        config = _parse_set_overrides(args.set)
+        registry = Registry()
+        grid = run_grid(
+            experiments=args.experiments,
+            seeds=args.seeds,
+            overrides=[config] if config else None,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            registry=registry,
+            progress=lambda line: print(f"  {line}", flush=True),
+            quick=args.quick,
+        )
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rows = [
+        [r.experiment_id, r.seed, r.status, r.attempts,
+         "cache" if r.cached else f"{r.wall_s:.2f}s", len(r.metrics)]
+        for r in grid.results
+    ]
+    print(render_table(
+        ["experiment", "seed", "status", "attempts", "ran in", "metrics"],
+        rows, title="experiment grid results",
+    ))
+    stats = grid.stats
+    print(f"{len(grid)} runs: {grid.n_ok} ok, {stats['errors']} errors, "
+          f"{stats['timeouts']} timeouts | cache hits: {stats['cache_hits']}, "
+          f"recomputed: {stats['recomputed']}, retries: {stats['retries']}")
+
+    out_path = grid.write_json(Path(args.out_dir) / "results.json")
+    print(f"wrote {out_path}")
+    for failure in grid.failures:
+        print(f"\nFAILED {failure.experiment_id} seed {failure.seed} "
+              f"({failure.status}):\n{failure.error}", file=sys.stderr)
+    return 0 if grid.all_ok else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.errors import RegistryError
     from repro.reporting import (
         render_trace_report,
         run_trace,
         traceable_experiments,
     )
 
-    if experiment_id is None:
+    if args.experiment is None:
         print("traceable experiments: "
               f"{', '.join(traceable_experiments())}")
-        print("usage: python -m repro trace <experiment> [--out trace.jsonl]")
+        print("usage: python -m repro trace <experiment> "
+              "[--out-dir DIR] [--seed N]")
         return 2
-    report = run_trace(experiment_id)
+    try:
+        report = run_trace(args.experiment, seed=args.seed)
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(render_trace_report(report))
-    lines = report.write_jsonl(out_path)
+    if args.out is not None:  # deprecated alias wins when given
+        out_path = Path(args.out)
+    else:
+        out_path = Path(args.out_dir) / "trace.jsonl"
+    if out_path.parent != Path("."):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    lines = report.write_jsonl(str(out_path))
     print(f"\nwrote {lines} lines to {out_path}")
     return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (subcommand per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rethinkbig reproduction library CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("summary", "library inventory and experiment list"),
+        ("roadmap", "run the full roadmap pipeline"),
+        ("findings", "survey corpus Key Findings"),
+        ("experiments", "the experiment registry"),
+    ):
+        sub.add_parser(name, help=help_text)
+
+    run_parser = sub.add_parser(
+        "run", help="run experiments in parallel with result caching"
+    )
+    run_parser.add_argument(
+        "experiments", nargs="+", metavar="ID",
+        help="experiment ids (e.g. E2 E6) or 'all'",
+    )
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (default: 1, inline)")
+    run_parser.add_argument("--seeds", type=int, default=1,
+                            help="seeds per experiment: 0..K-1 (default: 1)")
+    run_parser.add_argument("--cache-dir", default=".repro-cache",
+                            help="result cache directory "
+                                 "(default: .repro-cache)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="recompute everything, store nothing")
+    run_parser.add_argument("--out-dir", default=".",
+                            help="where to write results.json (default: .)")
+    run_parser.add_argument("--timeout-s", type=float, default=600.0,
+                            help="per-run wall-clock timeout (default: 600)")
+    run_parser.add_argument("--retries", type=int, default=1,
+                            help="re-attempts per failed run (default: 1)")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="reduced problem sizes (smoke runs)")
+    run_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                            help="config override applied to every "
+                                 "experiment (repeatable)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one experiment instrumented"
+    )
+    trace_parser.add_argument("experiment", nargs="?",
+                              help="experiment id (e.g. E2)")
+    trace_parser.add_argument("--out-dir", default=".",
+                              help="where to write trace.jsonl (default: .)")
+    trace_parser.add_argument("--seed", type=int, default=0,
+                              help="grid seed (0 reproduces the "
+                                   "historical trace)")
+    trace_parser.add_argument("--out", default=None,
+                              help="(deprecated alias) explicit trace "
+                                   "output path")
+    return parser
 
 
 def main(argv=None) -> int:
@@ -108,29 +261,11 @@ def main(argv=None) -> int:
         from repro.perf import main as perf_main
 
         return perf_main(argv[1:])
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="rethinkbig reproduction library CLI",
-    )
-    parser.add_argument(
-        "command",
-        choices=("summary", "roadmap", "findings", "experiments", "trace",
-                 "perf"),
-        help="what to run",
-    )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment id for the trace command (e.g. E2)",
-    )
-    parser.add_argument(
-        "--out",
-        default="trace.jsonl",
-        help="trace output path (trace command only)",
-    )
-    args = parser.parse_args(argv)
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "trace":
-        return _cmd_trace(args.experiment, args.out)
+        return _cmd_trace(args)
     handlers = {
         "summary": _cmd_summary,
         "roadmap": _cmd_roadmap,

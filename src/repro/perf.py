@@ -267,8 +267,12 @@ def _run_spec(spec: BenchSpec, rounds: int) -> Dict[str, Any]:
     return entry
 
 
-def build_specs(quick: bool = False) -> List[BenchSpec]:
-    """The pinned bench set; ``quick`` shrinks workloads ~10x for tests."""
+def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
+    """The pinned bench set; ``quick`` shrinks workloads ~10x for tests.
+
+    ``seed`` follows the runner convention: added to each flow bench's
+    legacy base seed (7 / 11), with 0 reproducing historical runs.
+    """
     from repro.engine.resources import Resource
     from repro.engine.sim import Simulator
     from repro.network.flows import FlowSimulator
@@ -340,11 +344,11 @@ def build_specs(quick: bool = False) -> List[BenchSpec]:
                 f"{n_shuffle}-flow two-rack shuffle through FlowSimulator"
             ),
             candidate=lambda: _bench_flow_solver(
-                FlowSimulator, lambda: _shuffle_flows(n_shuffle)
+                FlowSimulator, lambda: _shuffle_flows(n_shuffle, seed=7 + seed)
             ),
             reference=lambda: _bench_flow_solver(
                 _perfref.ReferenceFlowSimulator,
-                lambda: _shuffle_flows(n_shuffle),
+                lambda: _shuffle_flows(n_shuffle, seed=7 + seed),
             ),
             exact=False,
             target_speedup=None if quick else 5.0,
@@ -356,11 +360,11 @@ def build_specs(quick: bool = False) -> List[BenchSpec]:
                 f"{n_random} random-pair flows across a 4x4 leaf-spine"
             ),
             candidate=lambda: _bench_flow_solver(
-                FlowSimulator, lambda: _random_flows(n_random)
+                FlowSimulator, lambda: _random_flows(n_random, seed=11 + seed)
             ),
             reference=lambda: _bench_flow_solver(
                 _perfref.ReferenceFlowSimulator,
-                lambda: _random_flows(n_random),
+                lambda: _random_flows(n_random, seed=11 + seed),
             ),
             exact=False,
         ),
@@ -368,13 +372,13 @@ def build_specs(quick: bool = False) -> List[BenchSpec]:
 
 
 def run_suites(
-    rounds: int = 3, quick: bool = False
+    rounds: int = 3, quick: bool = False, seed: int = 0
 ) -> Dict[str, Dict[str, Any]]:
     """Run every bench; returns ``{suite_name: suite_results}``."""
     if rounds < 1:
         raise ModelError(f"rounds must be >= 1, got {rounds}")
     suites: Dict[str, Dict[str, Any]] = {}
-    for spec in build_specs(quick=quick):
+    for spec in build_specs(quick=quick, seed=seed):
         suite = suites.setdefault(
             spec.suite,
             {"suite": spec.suite, "rounds": rounds, "quick": quick,
@@ -469,9 +473,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="~10x smaller workloads (smoke/tests)")
     parser.add_argument("--check", metavar="BASELINE_DIR", default=None,
                         help="fail on >25%% regression vs baselines in DIR")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="flow-workload seed offset (CLI convention "
+                             "shared with `repro run`; default: 0)")
     args = parser.parse_args(argv)
 
-    suites = run_suites(rounds=args.rounds, quick=args.quick)
+    suites = run_suites(rounds=args.rounds, quick=args.quick, seed=args.seed)
     print(render_results(suites))
     for path in write_results(suites, Path(args.out_dir)):
         print(f"wrote {path}")

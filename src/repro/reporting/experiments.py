@@ -17,7 +17,13 @@ from repro.errors import RegistryError
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible exhibit or claim."""
+    """One reproducible exhibit or claim.
+
+    ``entrypoint`` is a dotted ``"module:function"`` path to a runnable
+    ``(config, seed) -> RunResult`` callable (empty when the exhibit is
+    only reachable through its benchmark). ``traceable`` marks
+    experiments wired for instrumented ``python -m repro trace`` runs.
+    """
 
     experiment_id: str
     paper_anchor: str
@@ -25,6 +31,27 @@ class Experiment:
     expected_shape: str
     modules: Tuple[str, ...]
     bench: str
+    entrypoint: str = ""
+    traceable: bool = False
+
+    @property
+    def runnable(self) -> bool:
+        """Whether a programmatic entrypoint is registered."""
+        return bool(self.entrypoint)
+
+    def resolve_entrypoint(self):
+        """Import and return the entrypoint callable.
+
+        Raises :class:`~repro.errors.RegistryError` when the experiment
+        has none registered or the path does not resolve.
+        """
+        if not self.entrypoint:
+            raise RegistryError(
+                f"experiment {self.experiment_id!r} has no entrypoint"
+            )
+        from repro.runner.pool import resolve_entrypoint
+
+        return resolve_entrypoint(self.entrypoint)
 
 
 EXPERIMENTS: List[Experiment] = [
@@ -48,6 +75,7 @@ EXPERIMENTS: List[Experiment] = [
         "counts exact; findings 1-4 all hold on the calibrated corpus",
         ("repro.survey.corpus", "repro.survey.analysis"),
         "benchmarks/test_bench_survey.py",
+        entrypoint="repro.runner.entrypoints:run_e1",
     ),
     Experiment(
         "E2", "SI (Catapult)",
@@ -55,6 +83,8 @@ EXPERIMENTS: List[Experiment] = [
         "P99 reduction in the 15-45% band at the operating point; larger under overload; ~2x QPS at iso-SLA",
         ("repro.engine", "repro.workloads.search"),
         "benchmarks/test_bench_catapult.py",
+        entrypoint="repro.runner.entrypoints:run_e2",
+        traceable=True,
     ),
     Experiment(
         "E3", "SV.B R4",
@@ -62,6 +92,7 @@ EXPERIMENTS: List[Experiment] = [
         "best accelerator >=5x CPU on compute-bound blocks; <2x on memory-bound",
         ("repro.node.roofline", "repro.analytics.blocks"),
         "benchmarks/test_bench_accelerator_gain.py",
+        entrypoint="repro.runner.entrypoints:run_e3",
     ),
     Experiment(
         "E4", "SIV.B.2",
@@ -69,6 +100,7 @@ EXPERIMENTS: List[Experiment] = [
         "NPV < 0 below a utilization breakeven in (0,1); breakeven falls as speedup rises",
         ("repro.econ.roi",),
         "benchmarks/test_bench_gpgpu_roi.py",
+        entrypoint="repro.runner.entrypoints:run_e4",
     ),
     Experiment(
         "E5", "SIV.B.3",
@@ -76,6 +108,7 @@ EXPERIMENTS: List[Experiment] = [
         "crossover in the 10^5-10^8 unit range; SiP upgrade cost <30% of SoC's",
         ("repro.econ.soc_sip", "repro.econ.silicon"),
         "benchmarks/test_bench_soc_sip.py",
+        entrypoint="repro.runner.entrypoints:run_e5",
     ),
     Experiment(
         "E6", "SIV.A.1",
@@ -83,6 +116,8 @@ EXPERIMENTS: List[Experiment] = [
         "branded most expensive at all fleet sizes; bare-metal crosses white-box at a fleet-size threshold",
         ("repro.network.switch", "repro.econ.cost"),
         "benchmarks/test_bench_switch_tco.py",
+        entrypoint="repro.runner.entrypoints:run_e6",
+        traceable=True,
     ),
     Experiment(
         "E7", "SIV.A.2",
@@ -90,6 +125,7 @@ EXPERIMENTS: List[Experiment] = [
         "SDN rollout flat within a wave; legacy rollout linear; speedup grows with fleet",
         ("repro.network.sdn", "repro.network.nfv"),
         "benchmarks/test_bench_sdn.py",
+        entrypoint="repro.runner.entrypoints:run_e7",
     ),
     Experiment(
         "E8", "SIV.A.3",
@@ -97,6 +133,7 @@ EXPERIMENTS: List[Experiment] = [
         "composable places >=10% more of a skewed job mix; per-dimension refresh <=40% of server refresh",
         ("repro.cluster.disaggregation",),
         "benchmarks/test_bench_disaggregation.py",
+        entrypoint="repro.runner.entrypoints:run_e8",
     ),
     Experiment(
         "E9", "SIV.A.3 / R3",
@@ -104,6 +141,7 @@ EXPERIMENTS: List[Experiment] = [
         "forecast volume year > 2020; usd/gbps strictly decreasing across generations",
         ("repro.network.link", "repro.core.adoption"),
         "benchmarks/test_bench_ethernet_roadmap.py",
+        entrypoint="repro.runner.entrypoints:run_e9",
     ),
     Experiment(
         "E10", "R11",
@@ -111,6 +149,7 @@ EXPERIMENTS: List[Experiment] = [
         "HEFT makespan < FIFO makespan; gap grows with device heterogeneity",
         ("repro.scheduler",),
         "benchmarks/test_bench_scheduling.py",
+        entrypoint="repro.runner.entrypoints:run_e10",
     ),
     Experiment(
         "E11", "R10",
@@ -118,6 +157,8 @@ EXPERIMENTS: List[Experiment] = [
         "offload policy beats cpu-only on regex/gemm-heavy plans at scale; identical results",
         ("repro.frameworks", "repro.analytics.blocks"),
         "benchmarks/test_bench_offload.py",
+        entrypoint="repro.runner.entrypoints:run_e11",
+        traceable=True,
     ),
     Experiment(
         "E12", "R9",
@@ -125,6 +166,7 @@ EXPERIMENTS: List[Experiment] = [
         "five workloads x four architectures; accelerated architectures win the acceleratable workloads only",
         ("repro.workloads.suite",),
         "benchmarks/test_bench_suite.py",
+        entrypoint="repro.runner.entrypoints:run_e12",
     ),
     Experiment(
         "E13", "SIV.B.2 / SV.A(4)",
@@ -132,6 +174,7 @@ EXPERIMENTS: List[Experiment] = [
         "HHI > 9000 for both; leader shares >95%; years-protected > 1 for realistic codebases",
         ("repro.ecosystem.market",),
         "benchmarks/test_bench_market.py",
+        entrypoint="repro.runner.entrypoints:run_e13",
     ),
     Experiment(
         "E14", "R2",
@@ -139,6 +182,7 @@ EXPERIMENTS: List[Experiment] = [
         "GPU-class device sustains >2x CPU trigger rate at large batches",
         ("repro.workloads.streams", "repro.frameworks.streaming"),
         "benchmarks/test_bench_convergence.py",
+        entrypoint="repro.runner.entrypoints:run_e14",
     ),
     Experiment(
         "E15", "SIV.C",
@@ -146,6 +190,7 @@ EXPERIMENTS: List[Experiment] = [
         "best universal model (OpenCL) misses >=1 device; native-everywhere effort >=10x portable",
         ("repro.node.programmability",),
         "benchmarks/test_bench_portability.py",
+        entrypoint="repro.runner.entrypoints:run_e15",
     ),
     Experiment(
         "E16", "SV.B",
@@ -153,6 +198,7 @@ EXPERIMENTS: List[Experiment] = [
         "benchmarks (R9) and accelerator derisking (R4) rank near the top; knapsack >= greedy",
         ("repro.core.recommendations", "repro.core.prioritize"),
         "benchmarks/test_bench_recommendations.py",
+        entrypoint="repro.runner.entrypoints:run_e16",
     ),
     # --- extensions beyond the paper's explicit claims -------------------
     Experiment(
@@ -168,6 +214,7 @@ EXPERIMENTS: List[Experiment] = [
         "shared never loses on mean completion time; gain >1.3x under load",
         ("repro.scheduler.online",),
         "benchmarks/test_bench_dynamic_allocation.py",
+        traceable=True,
     ),
     Experiment(
         "X3", "R11 (edge) / SIII (IoT back-end)",
@@ -196,6 +243,7 @@ EXPERIMENTS: List[Experiment] = [
         "least-loaded placement never slower, lower link imbalance, wins under collision-prone fan-out",
         ("repro.network.loadbalance",),
         "benchmarks/test_bench_loadbalance.py",
+        traceable=True,
     ),
     Experiment(
         "X9", "SV.A Finding 2 (wait-for-commodity)",

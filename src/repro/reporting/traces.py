@@ -6,10 +6,15 @@ report -- a per-subsystem breakdown (span counts, span time, engine
 event steps), the hottest spans, and the metric registry snapshot --
 and can export the span buffer as ``trace.jsonl``.
 
-Only experiments whose modules are wired for observability are
-traceable; see :data:`TRACE_RUNNERS`. Each runner uses a deliberately
-modest problem size: the point of a trace run is instrumentation
-coverage, not statistical power.
+The traceable set is declared in the experiment registry (the
+:attr:`~repro.reporting.experiments.Experiment.traceable` flag); this
+module keeps the matching runner per id in :data:`TRACE_RUNNERS`, and a
+registry/runner mismatch is reported as an error rather than silently
+hiding an experiment. Each runner uses a deliberately modest problem
+size: the point of a trace run is instrumentation coverage, not
+statistical power. Runners take the grid ``seed`` convention shared
+with :mod:`repro.runner`: the seed is added to each runner's legacy
+base seed, so seed 0 reproduces historical traces exactly.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import Any, Callable, Dict, List
 
 from repro.engine import Observability
 from repro.errors import RegistryError
-from repro.reporting.experiments import get_experiment
+from repro.reporting.experiments import EXPERIMENTS, get_experiment
 from repro.reporting.tables import render_table
 
 
@@ -52,7 +57,7 @@ class TraceReport:
         return self.observability.export_jsonl(path, header=header)
 
 
-def _trace_e2(observability: Observability) -> Dict[str, Any]:
+def _trace_e2(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """E2: accelerated search-ranking service (DES spans + pool gauges)."""
     from repro.workloads.search import run_search_service
 
@@ -60,6 +65,7 @@ def _trace_e2(observability: Observability) -> Dict[str, Any]:
         qps=3_000.0,
         n_requests=3_000,
         accelerated=True,
+        seed=2016 + seed,
         observability=observability,
     )
     return {
@@ -70,7 +76,7 @@ def _trace_e2(observability: Observability) -> Dict[str, Any]:
     }
 
 
-def _trace_e6(observability: Observability) -> Dict[str, Any]:
+def _trace_e6(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """E6: switch-fleet TCO sweep (cost counters and histograms)."""
     from repro.network.switch import (
         bare_metal_switch,
@@ -90,7 +96,7 @@ def _trace_e6(observability: Observability) -> Dict[str, Any]:
     return headline
 
 
-def _trace_e11(observability: Observability) -> Dict[str, Any]:
+def _trace_e11(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """E11: offloaded pipeline (placement counters + stage spans)."""
     from repro.cluster import uniform_cluster
     from repro.frameworks import (
@@ -108,7 +114,7 @@ def _trace_e11(observability: Observability) -> Dict[str, Any]:
         leaf_spine(2, 2, 2),
         lambda: accelerated_server(xeon_e5(), arria10_fpga()),
     )
-    docs = zipf_documents(2_000, 40, seed=3)
+    docs = zipf_documents(2_000, 40, seed=3 + seed)
     dataset = PartitionedDataset.from_records(docs, 8, record_bytes=240)
     plan = (
         Plan.source()
@@ -150,7 +156,7 @@ def _trace_e11(observability: Observability) -> Dict[str, Any]:
     return headline
 
 
-def _trace_x2(observability: Observability) -> Dict[str, Any]:
+def _trace_x2(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """X2: online allocation policies (task spans + completion histograms)."""
     from repro.node import arria10_fpga, nvidia_k80, xeon_e5
     from repro.scheduler import (
@@ -177,7 +183,7 @@ def _trace_x2(observability: Observability) -> Dict[str, Any]:
             ["filter-scan", "dense-gemm", "hash-aggregate"],
             1_000_000,
         ),
-        seed=21,
+        seed=21 + seed,
     )
     exclusive = scheduler.run_exclusive(stream)
     shared = scheduler.run_shared(stream)
@@ -190,7 +196,7 @@ def _trace_x2(observability: Observability) -> Dict[str, Any]:
     }
 
 
-def _trace_x7(observability: Observability) -> Dict[str, Any]:
+def _trace_x7(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """X7: ECMP vs least-loaded placement (per-flow spans + imbalance)."""
     from repro import units
     from repro.network import compare_assignment_policies, fat_tree
@@ -214,7 +220,9 @@ def _trace_x7(observability: Observability) -> Dict[str, Any]:
 
 
 #: Experiment id -> runner producing headline numbers under instrumentation.
-TRACE_RUNNERS: Dict[str, Callable[[Observability], Dict[str, Any]]] = {
+#: Membership must mirror the registry's ``traceable`` flags; the
+#: consistency is asserted by the test suite and re-checked at run time.
+TRACE_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "E2": _trace_e2,
     "E6": _trace_e6,
     "E11": _trace_e11,
@@ -224,21 +232,34 @@ TRACE_RUNNERS: Dict[str, Callable[[Observability], Dict[str, Any]]] = {
 
 
 def traceable_experiments() -> List[str]:
-    """Ids of experiments wired for instrumented runs, sorted."""
-    return sorted(TRACE_RUNNERS)
+    """Ids of experiments the registry marks traceable, sorted.
+
+    Derived from the registry (not a hardcoded CLI list), so newly
+    wired experiments appear automatically.
+    """
+    return sorted(e.experiment_id for e in EXPERIMENTS if e.traceable)
 
 
-def run_trace(experiment_id: str) -> TraceReport:
-    """Run ``experiment_id`` instrumented; raises for untraceable ids."""
+def run_trace(experiment_id: str, seed: int = 0) -> TraceReport:
+    """Run ``experiment_id`` instrumented; raises for untraceable ids.
+
+    ``seed`` follows the runner convention: added to the experiment's
+    base seed, with 0 reproducing the historical trace.
+    """
     experiment = get_experiment(experiment_id)  # validates the id
-    runner = TRACE_RUNNERS.get(experiment.experiment_id)
-    if runner is None:
+    if not experiment.traceable:
         raise RegistryError(
             f"experiment {experiment_id!r} is not traceable; "
             f"choose from {traceable_experiments()}"
         )
+    runner = TRACE_RUNNERS.get(experiment.experiment_id)
+    if runner is None:
+        raise RegistryError(
+            f"registry marks {experiment_id!r} traceable but no trace "
+            "runner is wired in TRACE_RUNNERS"
+        )
     observability = Observability()
-    headline = runner(observability)
+    headline = runner(observability, seed)
     return TraceReport(
         experiment_id=experiment.experiment_id,
         observability=observability,

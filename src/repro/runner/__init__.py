@@ -1,0 +1,52 @@
+"""Parallel experiment runner with result caching.
+
+Turns the experiment registry into an execution API: every E-series
+exhibit has a registered ``entrypoint(config, seed) -> RunResult``, and
+this package fans ``(experiment x seed x config-override)`` grids out
+over a process pool with deterministic per-shard seeding, an on-disk
+content-hash result cache, per-run timeouts, bounded retries, and
+progress heartbeats through the engine's metrics registry.
+
+Headline entry points:
+
+- :func:`run_experiment` -- one experiment, inline, no cache.
+- :func:`run_grid` -- the full sweep, parallel and cached.
+- ``python -m repro run <ids|all>`` -- the same from the CLI.
+"""
+
+from repro.runner.api import (
+    DEFAULT_TIMEOUT_S,
+    build_shards,
+    resolve_experiments,
+    run_experiment,
+    run_grid,
+    runnable_experiments,
+)
+from repro.runner.cache import ResultCache, cache_key, code_fingerprint
+from repro.runner.entrypoints import QUICK_CONFIGS
+from repro.runner.pool import (
+    ShardSpec,
+    execute_shard,
+    resolve_entrypoint,
+    run_shards,
+)
+from repro.runner.results import GridResult, RunResult
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "GridResult",
+    "QUICK_CONFIGS",
+    "ResultCache",
+    "RunResult",
+    "ShardSpec",
+    "build_shards",
+    "cache_key",
+    "code_fingerprint",
+    "execute_shard",
+    "resolve_entrypoint",
+    "resolve_experiments",
+    "run_experiment",
+    "run_grid",
+    "run_shards",
+    "runnable_experiments",
+]

@@ -1,0 +1,267 @@
+"""The runnable-experiment API: ``run_experiment`` and ``run_grid``.
+
+``run_experiment`` executes one registered experiment inline and
+returns its :class:`~repro.runner.results.RunResult` -- the
+programmatic "run experiment E2 at seed 7" entry point the registry
+previously lacked.
+
+``run_grid`` sweeps an ``(experiment x seed x config-override)`` grid
+through the process pool with the on-disk result cache in front:
+shards whose content-hash key (config + code fingerprint) is already
+cached are served without recompute, everything else fans out over
+``jobs`` workers with per-run timeouts and bounded retries. Progress
+heartbeats are published through a
+:class:`~repro.engine.observability.Registry`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.engine.observability import Registry
+from repro.errors import RegistryError
+from repro.reporting.experiments import EXPERIMENTS, Experiment
+from repro.runner.cache import ResultCache, cache_key
+from repro.runner.pool import ShardSpec, execute_shard, run_shards
+from repro.runner.results import GridResult, RunResult
+
+#: Default per-shard wall-clock budget for pooled sweeps.
+DEFAULT_TIMEOUT_S = 600.0
+
+
+def runnable_experiments() -> List[str]:
+    """Ids of experiments with a registered entrypoint, registry order."""
+    return [e.experiment_id for e in EXPERIMENTS if e.runnable]
+
+
+def resolve_experiments(tokens: Union[str, Iterable[str]]) -> List[Experiment]:
+    """Resolve user-supplied experiment tokens to registry entries.
+
+    Accepts a single token or an iterable; ``"all"`` expands to every
+    runnable experiment. Ids are case-insensitive and de-duplicated
+    while preserving registry order. Unknown or non-runnable ids raise
+    a :class:`~repro.errors.RegistryError` listing the runnable set.
+    """
+    if isinstance(tokens, str):
+        tokens = [tokens]
+    tokens = [token.strip() for token in tokens if token.strip()]
+    if not tokens:
+        raise RegistryError(
+            f"no experiments requested; runnable: {runnable_experiments()}"
+        )
+    by_id = {e.experiment_id.upper(): e for e in EXPERIMENTS}
+    wanted: List[Experiment] = []
+    for token in tokens:
+        if token.lower() == "all":
+            wanted.extend(e for e in EXPERIMENTS if e.runnable)
+            continue
+        experiment = by_id.get(token.upper())
+        if experiment is None:
+            raise RegistryError(
+                f"unknown experiment: {token!r}; "
+                f"runnable: {runnable_experiments()}"
+            )
+        if not experiment.runnable:
+            raise RegistryError(
+                f"experiment {experiment.experiment_id!r} has no entrypoint; "
+                f"runnable: {runnable_experiments()}"
+            )
+        wanted.append(experiment)
+    seen = set()
+    ordered = []
+    for experiment in wanted:
+        if experiment.experiment_id not in seen:
+            seen.add(experiment.experiment_id)
+            ordered.append(experiment)
+    return ordered
+
+
+def run_experiment(
+    experiment_id: str,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+) -> RunResult:
+    """Run one experiment inline and return its result.
+
+    Executes in the calling process with no cache and no timeout --
+    the simplest possible path from an experiment id to its headline
+    metrics. Failures are captured in the result record
+    (``result.status``/``result.error``), never raised.
+    """
+    (experiment,) = resolve_experiments(experiment_id)
+    spec = ShardSpec(
+        index=0,
+        experiment_id=experiment.experiment_id,
+        entrypoint=experiment.entrypoint,
+        seed=seed,
+        config=dict(config or {}),
+    )
+    started = time.perf_counter()
+    result = execute_shard(spec)
+    result.wall_s = time.perf_counter() - started
+    return result
+
+
+def _as_seeds(seeds: Union[int, Iterable[int]]) -> List[int]:
+    """``3`` -> ``[0, 1, 2]``; an iterable passes through validated."""
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError(f"need at least one seed, got {seeds}")
+        return list(range(seeds))
+    out = [int(s) for s in seeds]
+    if not out:
+        raise ValueError("need at least one seed")
+    return out
+
+
+def build_shards(
+    experiments: Sequence[Experiment],
+    seeds: List[int],
+    overrides: Sequence[Dict[str, Any]],
+    base_configs: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[ShardSpec]:
+    """The deterministic grid order: experiment, then override, then seed.
+
+    ``base_configs`` optionally supplies a per-experiment config layered
+    *under* each override (used for ``--quick`` problem sizes).
+    """
+    shards: List[ShardSpec] = []
+    for experiment in experiments:
+        base = dict((base_configs or {}).get(experiment.experiment_id, {}))
+        for override in overrides:
+            config = {**base, **override}
+            for seed in seeds:
+                shards.append(ShardSpec(
+                    index=len(shards),
+                    experiment_id=experiment.experiment_id,
+                    entrypoint=experiment.entrypoint,
+                    seed=seed,
+                    config=config,
+                ))
+    return shards
+
+
+def run_grid(
+    experiments: Union[str, Iterable[str]] = "all",
+    seeds: Union[int, Iterable[int]] = 1,
+    overrides: Optional[Sequence[Dict[str, Any]]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+    retries: int = 1,
+    registry: Optional[Registry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    quick: bool = False,
+) -> GridResult:
+    """Sweep experiments x seeds x config-overrides; return merged results.
+
+    ``seeds`` is a count (``K`` -> seeds ``0..K-1``) or an explicit
+    list. ``overrides`` is a sequence of config dicts, each crossed
+    with every experiment and seed (default: one empty override).
+    With ``cache_dir`` set and ``use_cache`` true, shards whose key is
+    cached are replayed without recompute and fresh ``ok`` results are
+    stored back. ``registry`` receives heartbeat metrics
+    (``runner.*`` counters, an in-flight gauge and a per-run wall-time
+    histogram); ``progress`` receives human-readable one-liners.
+    ``quick`` layers each experiment's reduced smoke-test problem size
+    (:data:`~repro.runner.entrypoints.QUICK_CONFIGS`) under the
+    overrides.
+    """
+    from repro.runner.entrypoints import QUICK_CONFIGS
+
+    resolved = resolve_experiments(experiments)
+    seed_list = _as_seeds(seeds)
+    override_list = list(overrides) if overrides else [{}]
+    registry = registry if registry is not None else Registry()
+    cache = (
+        ResultCache(cache_dir) if cache_dir is not None and use_cache else None
+    )
+
+    shards = build_shards(
+        resolved, seed_list, override_list,
+        base_configs=QUICK_CONFIGS if quick else None,
+    )
+    total = len(shards)
+    by_experiment = {e.experiment_id: e for e in resolved}
+
+    results: Dict[int, RunResult] = {}
+    keys: Dict[int, str] = {}
+    to_run: List[ShardSpec] = []
+    for shard in shards:
+        if cache is not None:
+            key = cache_key(
+                by_experiment[shard.experiment_id], shard.seed, shard.config
+            )
+            keys[shard.index] = key
+            cached = cache.get(key)
+            if cached is not None:
+                results[shard.index] = cached
+                registry.counter("runner.cache_hits").inc()
+                continue
+        to_run.append(shard)
+
+    done_count = len(results)
+    if progress is not None and done_count:
+        progress(f"cache: {done_count}/{total} shards replayed")
+
+    in_flight = 0
+    gauge = registry.gauge("runner.in_flight")
+    start_time = time.monotonic()
+    gauge.set(0.0, 0)
+
+    def on_start(spec: ShardSpec, attempt: int) -> None:
+        nonlocal in_flight
+        if attempt > 1:
+            registry.counter("runner.retries").inc()
+            if progress is not None:
+                progress(
+                    f"retry {spec.experiment_id} seed {spec.seed} "
+                    f"(attempt {attempt})"
+                )
+        in_flight += 1
+        gauge.set(time.monotonic() - start_time, in_flight)
+
+    def on_complete(spec: ShardSpec, result: RunResult) -> None:
+        nonlocal in_flight, done_count
+        in_flight -= 1
+        done_count += 1
+        gauge.set(time.monotonic() - start_time, in_flight)
+        registry.counter("runner.completed").inc()
+        if result.status == "error":
+            registry.counter("runner.errors").inc()
+        elif result.status == "timeout":
+            registry.counter("runner.timeouts").inc()
+        registry.histogram("runner.run_wall_s").observe(result.wall_s)
+        if progress is not None:
+            progress(
+                f"[{done_count}/{total}] {spec.experiment_id} "
+                f"seed {spec.seed}: {result.status} "
+                f"({result.wall_s:.2f}s, attempt {result.attempts})"
+            )
+
+    fresh = run_shards(
+        to_run,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        on_complete=on_complete,
+        on_start=on_start,
+    )
+    # run_shards returns grid order, matching to_run's ascending indexes.
+    for shard, result in zip(sorted(to_run, key=lambda s: s.index), fresh):
+        results[shard.index] = result
+        if cache is not None and result.ok:
+            cache.put(keys[shard.index], result)
+
+    merged = [results[index] for index in sorted(results)]
+    stats = {
+        "scheduled": total,
+        "recomputed": len(fresh),
+        "cache_hits": cache.hits if cache is not None else 0,
+        "errors": sum(1 for r in merged if r.status == "error"),
+        "timeouts": sum(1 for r in merged if r.status == "timeout"),
+        "retries": int(registry.counter("runner.retries").value),
+    }
+    return GridResult(results=merged, stats=stats)

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.core",
     "repro.ecosystem",
     "repro.reporting",
+    "repro.runner",
 ]
 
 

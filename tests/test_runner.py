@@ -1,0 +1,406 @@
+"""Tests for the parallel experiment runner (``repro.runner``).
+
+Covers the PR's acceptance guarantees: grid determinism across worker
+counts, cache hit/invalidation behaviour, the timeout and retry paths,
+entrypoint conformance for every runnable E-series experiment, and the
+``python -m repro run`` CLI.
+
+The synthetic entrypoints below live at module scope so forked pool
+workers can resolve them by dotted path (the fork context inherits this
+module through ``sys.modules``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.observability import Registry
+from repro.errors import RegistryError
+from repro.reporting import get_experiment
+from repro.runner import (
+    QUICK_CONFIGS,
+    GridResult,
+    ResultCache,
+    RunResult,
+    ShardSpec,
+    cache_key,
+    resolve_entrypoint,
+    resolve_experiments,
+    run_experiment,
+    run_grid,
+    run_shards,
+    runnable_experiments,
+)
+
+# ---------------------------------------------------------------------------
+# synthetic entrypoints (resolved by dotted path in forked workers)
+
+
+def ok_entrypoint(config, seed):
+    """Deterministic toy entrypoint: metrics derived from seed+config."""
+    return RunResult(
+        experiment_id="T-OK",
+        seed=seed,
+        config=dict(config),
+        metrics={"value": seed * 10 + config.get("bump", 0)},
+    )
+
+
+def failing_entrypoint(config, seed):
+    """Always raises, to exercise the error-capture path."""
+    raise ValueError("synthetic failure for the retry test")
+
+
+def sleepy_entrypoint(config, seed):
+    """Sleeps past any reasonable timeout, to exercise termination."""
+    time.sleep(float(config.get("sleep_s", 30.0)))
+    return RunResult(experiment_id="T-SLEEPY", seed=seed, config=dict(config))
+
+
+def flaky_entrypoint(config, seed):
+    """Fails on the first attempt (marker file absent), then succeeds."""
+    marker = Path(config["marker"])
+    if not marker.exists():
+        marker.write_text("attempted", encoding="utf-8")
+        raise RuntimeError("first attempt fails by design")
+    return RunResult(
+        experiment_id="T-FLAKY",
+        seed=seed,
+        config=dict(config),
+        metrics={"recovered": True},
+    )
+
+
+def _shard(entrypoint_name, experiment_id, index=0, seed=0, config=None):
+    return ShardSpec(
+        index=index,
+        experiment_id=experiment_id,
+        entrypoint=f"{__name__}:{entrypoint_name}",
+        seed=seed,
+        config=dict(config or {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# experiment resolution
+
+
+class TestResolveExperiments:
+    def test_all_expands_to_runnable_set(self):
+        resolved = resolve_experiments("all")
+        assert [e.experiment_id for e in resolved] == runnable_experiments()
+
+    def test_case_insensitive_and_deduplicated(self):
+        resolved = resolve_experiments(["e2", "E2", "e4"])
+        assert [e.experiment_id for e in resolved] == ["E2", "E4"]
+
+    def test_unknown_id_lists_runnable_set(self):
+        with pytest.raises(RegistryError, match="E1"):
+            resolve_experiments("E999")
+
+    def test_non_runnable_id_rejected(self):
+        with pytest.raises(RegistryError, match="no entrypoint"):
+            resolve_experiments("T1")
+
+    def test_every_e_series_experiment_is_runnable(self):
+        runnable = set(runnable_experiments())
+        expected = {f"E{i}" for i in range(1, 17)}
+        assert expected <= runnable
+
+
+class TestEntrypointConformance:
+    @pytest.mark.parametrize("experiment_id", sorted(
+        {f"E{i}" for i in range(1, 17)},
+        key=lambda e: int(e[1:]),
+    ))
+    def test_entrypoint_resolves_and_returns_ok_runresult(
+        self, experiment_id
+    ):
+        experiment = get_experiment(experiment_id)
+        fn = resolve_entrypoint(experiment.entrypoint)
+        assert callable(fn)
+        result = run_experiment(
+            experiment_id, config=QUICK_CONFIGS.get(experiment_id)
+        )
+        assert isinstance(result, RunResult)
+        assert result.ok, result.error
+        assert result.experiment_id == experiment_id
+        assert result.metrics, f"{experiment_id} returned no metrics"
+
+    def test_bad_entrypoint_paths_rejected(self):
+        with pytest.raises(RegistryError, match="module:function"):
+            resolve_entrypoint("no-colon-here")
+        with pytest.raises(RegistryError, match="has no"):
+            resolve_entrypoint("repro.runner.entrypoints:not_a_function")
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+
+class TestDeterminism:
+    GRID = ("E4", "E9")
+
+    def _results_json(self, tmp_path, name, jobs):
+        grid = run_grid(
+            self.GRID, seeds=2, jobs=jobs, cache_dir=None, use_cache=False
+        )
+        assert grid.all_ok, [r.error for r in grid.failures]
+        return grid.write_json(tmp_path / name / "results.json").read_bytes()
+
+    def test_results_json_identical_across_worker_counts(self, tmp_path):
+        serial = self._results_json(tmp_path, "j1", jobs=1)
+        pooled = self._results_json(tmp_path, "j4", jobs=4)
+        assert serial == pooled
+
+    def test_results_ordered_by_grid_not_completion(self):
+        grid = run_grid(self.GRID, seeds=2, jobs=4, use_cache=False)
+        order = [(r.experiment_id, r.seed) for r in grid.results]
+        assert order == [
+            ("E4", 0), ("E4", 1), ("E9", 0), ("E9", 1)
+        ]
+
+    def test_same_seed_reproduces_metrics(self):
+        first = run_experiment("E4", seed=3)
+        second = run_experiment("E4", seed=3)
+        assert first.metrics == second.metrics
+
+    def test_run_result_round_trips_through_dict(self):
+        result = run_experiment("E4", seed=1)
+        assert RunResult.from_dict(result.to_dict()) == result
+
+
+# ---------------------------------------------------------------------------
+# caching
+
+
+class TestCache:
+    def test_second_sweep_is_fully_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = run_grid(["E4"], seeds=2, cache_dir=cache_dir)
+        assert first.stats["recomputed"] == 2
+        assert first.stats["cache_hits"] == 0
+        second = run_grid(["E4"], seeds=2, cache_dir=cache_dir)
+        assert second.stats["recomputed"] == 0
+        assert second.stats["cache_hits"] == 2
+        assert all(r.cached for r in second.results)
+        assert ([r.to_dict() for r in first.results]
+                == [r.to_dict() for r in second.results])
+
+    def test_config_change_invalidates_exactly_that_shard(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_grid(["E4"], seeds=1, cache_dir=cache_dir)
+        changed = run_grid(
+            ["E4"], seeds=1, overrides=[{"speedup": 5.0}],
+            cache_dir=cache_dir,
+        )
+        assert changed.stats["recomputed"] == 1
+        replay = run_grid(["E4"], seeds=1, cache_dir=cache_dir)
+        assert replay.stats["cache_hits"] == 1
+
+    def test_cache_key_varies_with_seed_and_config(self):
+        experiment = get_experiment("E4")
+        base = cache_key(experiment, 0, {})
+        assert cache_key(experiment, 1, {}) != base
+        assert cache_key(experiment, 0, {"speedup": 5.0}) != base
+        assert cache_key(experiment, 0, {}) == base
+
+    def test_failed_results_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        bad = RunResult(
+            experiment_id="E4", seed=0, status="error", error="boom"
+        )
+        cache.put("a" * 64, bad)
+        assert len(cache) == 0
+        assert cache.get("a" * 64) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "b" * 64
+        cache.put(key, RunResult(experiment_id="E4", seed=0))
+        assert cache.get(key) is not None
+        path = cache.root / key[:2] / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_no_cache_flag_stores_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_grid(["E4"], seeds=1, cache_dir=cache_dir, use_cache=False)
+        assert not cache_dir.exists()
+
+
+# ---------------------------------------------------------------------------
+# failure handling: errors, timeouts, retries
+
+
+class TestFailurePaths:
+    def test_error_captured_with_traceback(self):
+        [result] = run_shards([_shard("failing_entrypoint", "T-ERR")],
+                              jobs=1, retries=0)
+        assert result.status == "error"
+        assert result.attempts == 1
+        assert "synthetic failure" in result.error
+        assert "Traceback" in result.error
+
+    def test_error_retried_up_to_bound(self):
+        [result] = run_shards([_shard("failing_entrypoint", "T-ERR")],
+                              jobs=2, retries=2)
+        assert result.status == "error"
+        assert result.attempts == 3
+
+    def test_timeout_terminates_and_records(self):
+        [result] = run_shards(
+            [_shard("sleepy_entrypoint", "T-SLEEPY")],
+            jobs=2, timeout_s=0.3, retries=0,
+        )
+        assert result.status == "timeout"
+        assert result.attempts == 1
+        assert "timeout" in result.error
+
+    def test_flaky_shard_recovers_on_retry(self, tmp_path):
+        marker = tmp_path / "marker"
+        [result] = run_shards(
+            [_shard("flaky_entrypoint", "T-FLAKY",
+                    config={"marker": str(marker)})],
+            jobs=2, retries=1,
+        )
+        assert result.ok, result.error
+        assert result.attempts == 2
+        assert result.metrics == {"recovered": True}
+
+    def test_mismatched_experiment_id_is_an_error(self):
+        [result] = run_shards([_shard("ok_entrypoint", "T-WRONG")],
+                              jobs=1, retries=0)
+        assert result.status == "error"
+        assert "T-OK" in result.error
+
+    def test_invalid_pool_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_shards([], jobs=0)
+        with pytest.raises(ValueError):
+            run_shards([], retries=-1)
+        with pytest.raises(ValueError):
+            run_shards([], jobs=2, timeout_s=0.0)
+
+    def test_pooled_failures_do_not_block_other_shards(self):
+        shards = [
+            _shard("failing_entrypoint", "T-ERR", index=0),
+            _shard("ok_entrypoint", "T-OK", index=1, seed=4),
+        ]
+        results = run_shards(shards, jobs=2, retries=0)
+        assert results[0].status == "error"
+        assert results[1].ok and results[1].metrics["value"] == 40
+
+
+# ---------------------------------------------------------------------------
+# heartbeats
+
+
+class TestHeartbeats:
+    def test_registry_receives_runner_metrics(self, tmp_path):
+        registry = Registry()
+        grid = run_grid(
+            ["E4"], seeds=2, cache_dir=tmp_path / "cache",
+            registry=registry,
+        )
+        assert grid.all_ok
+        assert registry.counter("runner.completed").value == 2
+        assert registry.histogram("runner.run_wall_s").count == 2
+        gauge = registry.gauge("runner.in_flight")
+        assert gauge.n_samples >= 3
+        assert gauge.last_value == 0
+
+    def test_cache_hits_counted(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_grid(["E4"], seeds=1, cache_dir=cache_dir)
+        registry = Registry()
+        run_grid(["E4"], seeds=1, cache_dir=cache_dir, registry=registry)
+        assert registry.counter("runner.cache_hits").value == 1
+
+
+# ---------------------------------------------------------------------------
+# grid results
+
+
+class TestGridResult:
+    def test_write_json_is_canonical(self, tmp_path):
+        grid = GridResult(results=[RunResult(experiment_id="E4", seed=0)])
+        path = grid.write_json(tmp_path / "results.json")
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.runner/results/v1"
+        assert document["n_runs"] == 1
+        assert document["results"][0]["experiment"] == "E4"
+
+    def test_result_for_lookup(self):
+        grid = GridResult(results=[
+            RunResult(experiment_id="E4", seed=0),
+            RunResult(experiment_id="E4", seed=1),
+        ])
+        assert grid.result_for("E4", 1).seed == 1
+        with pytest.raises(KeyError):
+            grid.result_for("E9")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestRunCli:
+    def test_run_writes_results_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "run", "E4",
+            "--out-dir", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        document = json.loads(
+            (tmp_path / "out" / "results.json").read_text()
+        )
+        assert document["experiments"] == ["E4"]
+        printed = capsys.readouterr().out
+        assert "experiment grid results" in printed
+        assert "wrote" in printed
+
+    def test_second_invocation_hits_cache(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "run", "E4", "--seeds", "2",
+            "--out-dir", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "cache hits: 2" in printed
+        assert "recomputed: 0" in printed
+
+    def test_unknown_experiment_exits_2_with_hint(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["run", "E999", "--out-dir", str(tmp_path)])
+        assert rc == 2
+        assert "runnable" in capsys.readouterr().err
+
+    def test_set_overrides_reach_the_entrypoint(self, tmp_path):
+        from repro.__main__ import main
+
+        rc = main([
+            "run", "E4", "--no-cache",
+            "--out-dir", str(tmp_path),
+            "--set", "speedup=6.0",
+        ])
+        assert rc == 0
+        document = json.loads((tmp_path / "results.json").read_text())
+        assert document["results"][0]["config"]["speedup"] == 6.0
+
+    def test_trace_rejects_non_traceable_with_hint(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "E1"]) == 2
+        assert "error" in capsys.readouterr().err
