@@ -9,7 +9,6 @@ freed CPU workers).
 Run:  python examples/catapult_search.py
 """
 
-import numpy as np
 
 from repro.reporting import render_table
 from repro.workloads import (

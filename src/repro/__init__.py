@@ -19,6 +19,9 @@ submodules:
   from :mod:`repro.reporting`.
 - :class:`Simulator` / :class:`Observability` -- the deterministic DES
   kernel and its metrics/span substrate; from :mod:`repro.engine`.
+- :class:`FaultInjector` / :class:`FaultSpec` and :func:`retry` /
+  :func:`hedge` / :func:`with_deadline` -- runtime fault injection and
+  the tail-tolerance primitives; from :mod:`repro.engine`.
 - :func:`build_roadmap` -- the full roadmap pipeline;
   from :mod:`repro.core`.
 - :func:`generate_corpus` -- the calibrated 89-interview survey corpus;
@@ -46,7 +49,17 @@ The full surface lives in the subpackages:
 __version__ = "1.0.0"
 
 from repro.core import build_roadmap
-from repro.engine import Observability, RandomStream, Simulator
+from repro.engine import (
+    FaultInjector,
+    FaultSpec,
+    Observability,
+    RandomStream,
+    RetryPolicy,
+    Simulator,
+    hedge,
+    retry,
+    with_deadline,
+)
 from repro.reporting import (
     EXPERIMENTS,
     Experiment,
@@ -67,19 +80,25 @@ from repro.survey import generate_corpus
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
+    "FaultInjector",
+    "FaultSpec",
     "GridResult",
     "Observability",
     "RandomStream",
+    "RetryPolicy",
     "RunResult",
     "Simulator",
     "__version__",
     "build_roadmap",
     "generate_corpus",
     "get_experiment",
+    "hedge",
     "render_table",
+    "retry",
     "run_experiment",
     "run_grid",
     "run_trace",
     "runnable_experiments",
     "traceable_experiments",
+    "with_deadline",
 ]

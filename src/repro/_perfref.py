@@ -25,7 +25,9 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+import networkx as nx
 
 from repro.errors import ProcessFailure, SimulationError, TopologyError
 from repro.network.routing import ecmp_path_for_flow, path_links
@@ -401,6 +403,42 @@ def reference_max_min_fair_rates(fabric: Fabric, flows: List[Any]) -> Dict[int, 
                 if remaining_capacity[link] < 0:
                     remaining_capacity[link] = 0.0
     return rates
+
+
+def _reference_hosts_connected(fabric: Fabric) -> bool:
+    """Frozen copy of the full component scan the naive analysis used."""
+    hosts = fabric.hosts
+    if len(hosts) < 2:
+        return True
+    for component in nx.connected_components(fabric.graph):
+        if hosts[0] in component:
+            return all(h in component for h in hosts)
+    return False
+
+
+def reference_single_switch_failure_impact(fabric: Fabric) -> Dict[str, float]:
+    """Pre-change per-switch failure analysis: copy + recompute per switch.
+
+    For every switch this clones the whole fabric graph, rescans
+    connectivity, and recomputes bisection bandwidth from scratch (full
+    host contraction plus max flow). The production version in
+    :mod:`repro.network.failures` contracts once and reuses the baseline
+    flow; this copy is frozen as its timing and equivalence reference.
+    """
+    baseline = fabric.bisection_bandwidth_gbps()
+    worst: Dict[str, float] = {}
+    for switch in fabric.switches:
+        degraded = Fabric(
+            name=f"{fabric.name}-degraded", graph=fabric.graph.copy()
+        )
+        degraded.graph.remove_node(switch)
+        if not _reference_hosts_connected(degraded):
+            fraction = 0.0
+        else:
+            fraction = degraded.bisection_bandwidth_gbps() / baseline
+        role = fabric.role(switch)
+        worst[role] = min(worst.get(role, 1.0), fraction)
+    return worst
 
 
 @dataclass

@@ -17,7 +17,7 @@ and E11 experiments sweep this registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from repro.errors import ModelError, RegistryError
 from repro.node.device import ComputeDevice, DeviceKind

@@ -8,7 +8,7 @@ cross-check against networkx.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Set
 
 from repro.errors import ModelError
 

@@ -9,7 +9,6 @@ functionality and as the computational payload of the benchmark suite
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -19,7 +19,7 @@ Two quantifiable benefits are modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.errors import ModelError
 

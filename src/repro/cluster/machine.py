@@ -9,7 +9,7 @@ network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import TopologyError
 from repro.network.topology import Fabric

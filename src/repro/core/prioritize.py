@@ -8,7 +8,7 @@ millions -- tiny state space).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.recommendations import ScoredRecommendation

@@ -10,10 +10,10 @@ priority score the portfolio optimizer consumes (E16).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
-from repro.core.technology import TECHNOLOGY_CATALOG, get_technology
+from repro.core.technology import get_technology
 from repro.errors import ModelError
 from repro.survey.analysis import theme_fraction
 from repro.survey.stakeholder import (

@@ -11,13 +11,13 @@ This is the library's top-level "do what the project did" entry point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.adoption import BassModel, commodity_year_forecast
 from repro.core.prioritize import Portfolio, optimize_portfolio
 from repro.core.recommendations import ScoredRecommendation, score_all
-from repro.core.technology import TECHNOLOGY_CATALOG, Technology
+from repro.core.technology import TECHNOLOGY_CATALOG
 from repro.errors import ModelError
 from repro.survey.analysis import Finding, key_findings
 from repro.survey.corpus import generate_corpus

@@ -16,7 +16,7 @@ and a small seed can flip a stalled market into a full cascade.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.econ.cost import learning_curve_price

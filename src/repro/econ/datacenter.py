@@ -9,7 +9,7 @@ amortization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict
 
 from repro import units
 from repro.econ.cost import EnergyPrice, TcoBreakdown

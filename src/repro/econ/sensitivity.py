@@ -10,7 +10,7 @@ argument for benchmarks (R9) and pilot projects (R4).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.econ.roi import AcceleratorInvestment
 from repro.errors import ModelError

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from repro.ecosystem.actors import (
-    ActorKind,
     CONSORTIUM,
     ConsortiumPartner,
     INITIATIVE_CATALOG,

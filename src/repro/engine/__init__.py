@@ -6,10 +6,19 @@ owns the virtual clock. :mod:`~repro.engine.resources` adds counted
 resources, continuous containers and FIFO stores;
 :mod:`~repro.engine.trace` collects metric series;
 :mod:`~repro.engine.observability` adds span tracing, a metrics registry
-(counters/gauges/histograms) and engine hooks; and
-:mod:`~repro.engine.randomness` provides reproducible variate streams.
+(counters/gauges/histograms) and engine hooks;
+:mod:`~repro.engine.randomness` provides reproducible variate streams;
+:mod:`~repro.engine.faults` injects deterministic runtime faults; and
+:mod:`~repro.engine.resilience` provides retry/deadline/hedge
+primitives for tail-tolerant processes.
 """
 
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
 from repro.engine.observability import (
     Counter,
     Gauge,
@@ -20,6 +29,13 @@ from repro.engine.observability import (
     SpanLog,
 )
 from repro.engine.randomness import RandomStream
+from repro.engine.resilience import (
+    HedgeOutcome,
+    RetryPolicy,
+    hedge,
+    retry,
+    with_deadline,
+)
 from repro.engine.resources import Container, Resource, Store
 from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator, Timeout
 from repro.engine.trace import (
@@ -33,7 +49,12 @@ __all__ = [
     "Container",
     "Counter",
     "Event",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
     "Gauge",
+    "HedgeOutcome",
     "Histogram",
     "Interrupt",
     "MetricSeries",
@@ -42,6 +63,7 @@ __all__ = [
     "RandomStream",
     "Registry",
     "Resource",
+    "RetryPolicy",
     "Simulator",
     "Span",
     "SpanLog",
@@ -49,5 +71,8 @@ __all__ = [
     "Timeout",
     "Tracer",
     "confidence_interval_95",
+    "hedge",
+    "retry",
     "summarize",
+    "with_deadline",
 ]

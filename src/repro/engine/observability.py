@@ -25,7 +25,7 @@ import itertools
 import json
 from bisect import bisect_left
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Span:

@@ -1,0 +1,326 @@
+"""Resilience primitives: retry with backoff, deadlines, hedged requests.
+
+The chaos experiments (X12) need the three classic tail-tolerance
+mechanisms as first-class, composable engine constructs:
+
+- :func:`retry` -- re-run a failing operation under a
+  :class:`RetryPolicy` (exponential backoff, cap, deterministic jitter);
+- :func:`with_deadline` -- wrap any :class:`~repro.engine.sim.Event`
+  so the waiter gets :class:`~repro.errors.DeadlineExceeded` instead of
+  blocking past a timeout;
+- :func:`hedge` -- speculative duplicate execution ("hedged requests"):
+  launch a copy after a delay, first completion wins, losers are
+  interrupted.
+
+All three are built strictly on the public ``Event`` / ``ProcessHandle``
+/ ``interrupt`` machinery; they add nothing to the kernel's hot paths,
+so simulations that do not use them are bit-for-bit unchanged.
+
+Randomness is explicit: jitter only happens when the caller passes a
+:class:`~repro.engine.randomness.RandomStream`, which keeps every
+schedule reproducible.
+
+Example
+-------
+>>> from repro.engine import Simulator
+>>> sim = Simulator()
+>>> def flaky():
+...     yield sim.timeout(0.1)
+...     raise RuntimeError("transient")
+>>> def driver(sim):
+...     try:
+...         yield from retry(sim, flaky, RetryPolicy(max_attempts=2,
+...                                                  base_delay_s=0.5))
+...     except Exception as exc:
+...         return type(exc).__name__
+>>> handle = sim.spawn(driver(sim))
+>>> sim.run()
+0.7
+>>> handle.value
+'RetryExhausted'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.engine.randomness import RandomStream
+from repro.engine.sim import Event, Interrupt, Process, Simulator
+from repro.errors import DeadlineExceeded, RetryExhausted, SimulationError
+
+#: Factory producing a fresh attempt generator per call.
+AttemptFactory = Callable[[], Process]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule for :func:`retry`.
+
+    The delay after the ``n``-th failed attempt (1-based) is
+    ``base_delay_s * multiplier ** (n - 1)``, capped at ``max_delay_s``.
+    With ``jitter > 0`` and a :class:`RandomStream`, each delay is
+    scaled by a uniform factor in ``[1 - jitter, 1 + jitter]`` --
+    deterministic given the stream, so two runs with the same seed
+    produce identical schedules.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 1e-3
+    multiplier: float = 2.0
+    max_delay_s: float = float("inf")
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError("retry policy needs at least one attempt")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise SimulationError("retry delays must be non-negative")
+        if self.multiplier <= 0:
+            raise SimulationError("backoff multiplier must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+
+    def delay_s(self, attempt: int, rng: Optional[RandomStream] = None) -> float:
+        """Backoff delay after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise SimulationError(f"attempt must be >= 1, got {attempt}")
+        delay = self.base_delay_s * self.multiplier ** (attempt - 1)
+        if delay > self.max_delay_s:
+            delay = self.max_delay_s
+        if self.jitter > 0.0 and rng is not None:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+    def schedule(
+        self, n_failures: int, rng: Optional[RandomStream] = None
+    ) -> list:
+        """The first ``n_failures`` backoff delays, in order."""
+        return [self.delay_s(i, rng) for i in range(1, n_failures + 1)]
+
+
+@dataclass(frozen=True)
+class HedgeOutcome:
+    """Result of one :func:`hedge` call.
+
+    ``launched`` counts every copy started (1 means the hedge never
+    fired), so ``launched - 1`` is the extra-work overhead the caller
+    should report rather than hide.
+    """
+
+    value: Any
+    winner: int
+    launched: int
+
+
+def _guarded(generator: Process, outcome: Event) -> Process:
+    """Run ``generator`` and deliver its result or failure via ``outcome``.
+
+    Exceptions escaping a plain spawned process would abort the whole
+    run (:class:`~repro.errors.ProcessFailure`); routing them through an
+    event instead lets :func:`retry` and :func:`hedge` observe failures
+    without installing a global ``on_process_error`` hook. An
+    :class:`~repro.engine.sim.Interrupt` (a cancelled hedge loser)
+    cancels the outcome and ends the copy silently.
+    """
+    try:
+        result = yield from generator
+    except Interrupt:
+        outcome.cancel()
+        return
+    except Exception as exc:  # noqa: BLE001 - delivered to the waiter
+        if not outcome.triggered:
+            outcome.fail(exc)
+        return
+    if not outcome.triggered:
+        outcome.succeed(result)
+
+
+def retry(
+    sim: Simulator,
+    make_attempt: AttemptFactory,
+    policy: RetryPolicy = RetryPolicy(),
+    rng: Optional[RandomStream] = None,
+    name: str = "retry",
+) -> Iterator[Event]:
+    """Run ``make_attempt()`` until it succeeds, backing off between tries.
+
+    A generator meant for ``yield from`` inside a process (or to be
+    spawned directly). ``make_attempt`` must return a *fresh* process
+    generator per call; each attempt runs as its own process so a crash
+    inside it is contained. Returns the successful attempt's value;
+    raises :class:`~repro.errors.RetryExhausted` (chaining the last
+    error) when the policy's budget is spent. Interrupts delivered to
+    the retrying process propagate unchanged.
+
+    With observability attached to ``sim``, increments
+    ``resilience.retry.attempts`` / ``.failures`` / ``.recovered`` /
+    ``.exhausted`` counters.
+    """
+    registry = (
+        sim.observability.registry if sim.observability is not None else None
+    )
+    attempt = 0
+    while True:
+        attempt += 1
+        if registry is not None:
+            registry.counter("resilience.retry.attempts").inc()
+        outcome = sim.event()
+        sim.spawn(
+            _guarded(make_attempt(), outcome),
+            name=f"{name}.attempt{attempt}",
+        )
+        try:
+            result = yield outcome
+        except Interrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - retried per policy
+            if registry is not None:
+                registry.counter("resilience.retry.failures").inc()
+            if attempt >= policy.max_attempts:
+                if registry is not None:
+                    registry.counter("resilience.retry.exhausted").inc()
+                raise RetryExhausted(
+                    f"{name}: all {attempt} attempts failed "
+                    f"(last: {exc!r})",
+                    attempts=attempt,
+                ) from exc
+            yield sim.timeout(policy.delay_s(attempt, rng))
+        else:
+            if attempt > 1 and registry is not None:
+                registry.counter("resilience.retry.recovered").inc()
+            return result
+
+
+def with_deadline(sim: Simulator, event: Event, timeout_s: float) -> Event:
+    """An event mirroring ``event`` but failing after ``timeout_s``.
+
+    If ``event`` fires (either way) within the window, the returned
+    gate relays its value or exception. Otherwise the gate fails with
+    :class:`~repro.errors.DeadlineExceeded` and ``event`` is cancelled
+    so queue owners stop holding capacity for the abandoned waiter.
+    """
+    if timeout_s < 0:
+        raise SimulationError(f"negative deadline: {timeout_s}")
+    gate = sim.event()
+    timer = sim.timeout(timeout_s)
+    started = sim.now
+
+    def on_event(evt: Event) -> None:
+        if gate.triggered:
+            return
+        timer.cancel()
+        if evt._exception is not None:
+            gate.fail(evt._exception)
+        else:
+            gate.succeed(evt.value)
+
+    def on_timer(_evt: Event) -> None:
+        if gate.triggered:
+            return
+        event.cancel()
+        registry = (
+            sim.observability.registry
+            if sim.observability is not None
+            else None
+        )
+        if registry is not None:
+            registry.counter("resilience.deadline.expired").inc()
+        gate.fail(
+            DeadlineExceeded(
+                f"no result within {timeout_s:g}s (started t={started:g})",
+                deadline_s=timeout_s,
+            )
+        )
+
+    event.add_callback(on_event)
+    timer.add_callback(on_timer)
+    return gate
+
+
+def hedge(
+    sim: Simulator,
+    make_attempt: AttemptFactory,
+    delay_s: float,
+    max_copies: int = 2,
+    name: str = "hedge",
+) -> Iterator[Event]:
+    """Speculatively duplicate an operation; first completion wins.
+
+    A generator meant for ``yield from`` inside a process. The first
+    copy starts immediately; while no copy has finished, another starts
+    every ``delay_s`` until ``max_copies`` are running. The first copy
+    to finish supplies the result and every other copy is interrupted
+    (winner-takes-all). A copy that *fails* triggers an immediate
+    replacement launch while budget remains; if every launched copy
+    fails, the last failure is raised.
+
+    Returns a :class:`HedgeOutcome` so callers can account for the
+    overhead (``launched`` copies) instead of hiding it. With
+    observability attached, increments ``resilience.hedge.calls`` /
+    ``.extra_copies`` / ``.hedged_wins`` counters.
+    """
+    if max_copies < 1:
+        raise SimulationError("hedge needs at least one copy")
+    if delay_s < 0:
+        raise SimulationError(f"negative hedge delay: {delay_s}")
+    registry = (
+        sim.observability.registry if sim.observability is not None else None
+    )
+    gate = sim.event()
+    handles: list = []
+    state = {"launched": 0, "pending": 0}
+    last_error: list = [None]
+
+    def launch() -> None:
+        index = state["launched"]
+        state["launched"] += 1
+        state["pending"] += 1
+        outcome = sim.event()
+        outcome.add_callback(_make_on_outcome(index))
+        handles.append(
+            sim.spawn(
+                _guarded(make_attempt(), outcome), name=f"{name}.copy{index}"
+            )
+        )
+
+    def _make_on_outcome(index: int):
+        def on_outcome(evt: Event) -> None:
+            if gate.triggered:
+                return
+            state["pending"] -= 1
+            if evt._exception is not None:
+                last_error[0] = evt._exception
+                if state["launched"] < max_copies:
+                    launch()  # failed copy: hedge immediately
+                elif state["pending"] == 0:
+                    gate.fail(last_error[0])
+                return
+            gate.succeed((index, evt.value))
+
+        return on_outcome
+
+    def on_timer(_evt: Event) -> None:
+        if gate.triggered or state["launched"] >= max_copies:
+            return
+        launch()
+        if state["launched"] < max_copies:
+            sim.timeout(delay_s).add_callback(on_timer)
+
+    launch()
+    if max_copies > 1:
+        sim.timeout(delay_s).add_callback(on_timer)
+
+    winner, value = yield gate
+    for index, handle in enumerate(handles):
+        if index != winner:
+            handle.interrupt(f"{name}: lost to copy {winner}")
+    if registry is not None:
+        registry.counter("resilience.hedge.calls").inc()
+        if state["launched"] > 1:
+            registry.counter("resilience.hedge.extra_copies").inc(
+                state["launched"] - 1
+            )
+        if winner > 0:
+            registry.counter("resilience.hedge.hedged_wins").inc()
+    return HedgeOutcome(value=value, winner=winner, launched=state["launched"])

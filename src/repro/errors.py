@@ -27,6 +27,35 @@ class ProcessFailure(SimulationError):
         self.sim_time = sim_time
 
 
+class DeadlineExceeded(SimulationError):
+    """Raised in a waiter when an event misses its deadline.
+
+    Produced by :func:`repro.engine.resilience.with_deadline` when the
+    wrapped event does not fire within the allotted virtual time.
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class RetryExhausted(SimulationError):
+    """All attempts of a retried operation failed.
+
+    Raised by :func:`repro.engine.resilience.retry` once the policy's
+    attempt budget is spent; the last attempt's exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class FaultError(ReproError):
+    """A simulated component is unavailable due to an injected fault."""
+
+
 class TopologyError(ReproError):
     """Raised for malformed network topologies or unroutable paths."""
 

@@ -9,7 +9,7 @@ a declarative way the data placement and unit of parallelization".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, List, Sequence
 
 from repro.errors import PlanError
 

@@ -9,8 +9,8 @@ much tail the framework layer itself adds on top of the hardware model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.engine.randomness import RandomStream
 from repro.errors import ModelError

@@ -15,11 +15,11 @@ crossover every iterative-analytics benchmark exhibits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List
 
 from repro.errors import PlanError
-from repro.frameworks.batch import BatchExecutor, JobResult
+from repro.frameworks.batch import BatchExecutor
 from repro.frameworks.dataflow import Plan
 from repro.frameworks.dataset import PartitionedDataset
 

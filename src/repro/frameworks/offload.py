@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.analytics.blocks import BlockRegistry, BuildingBlock
+from repro.analytics.blocks import BuildingBlock
 from repro.engine import Registry
 from repro.errors import ModelError, SchedulingError
 from repro.node.device import ComputeDevice

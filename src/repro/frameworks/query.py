@@ -14,7 +14,7 @@ joins/aggregates, shrinking shuffles) and projection pruning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analytics.relational import AGGREGATES

@@ -9,7 +9,7 @@ reports for LHC/SKA-like science streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analytics.blocks import BlockRegistry, default_blocks

@@ -8,6 +8,7 @@ queueing, the SDN control plane and NFV service chains.
 
 from repro.network.failures import (
     DegradationPoint,
+    DegradationProfile,
     hosts_connected,
     min_cut_links_between,
     progressive_link_failures,
@@ -90,6 +91,7 @@ from repro.network.topology import (
 __all__ = [
     "AssignmentComparison",
     "DegradationPoint",
+    "DegradationProfile",
     "ETHERNET_ROADMAP",
     "FUNCTION_CATALOG",
     "Fabric",

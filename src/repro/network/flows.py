@@ -28,22 +28,27 @@ from repro.network.topology import Fabric
 
 
 def _fabric_link_capacities(fabric: Fabric) -> Dict[Tuple[str, str], float]:
-    """Capacity in bytes/s per canonical link key, cached on the fabric.
+    """Capacity in bytes/s per canonical *up* link key, cached on the fabric.
 
     The cache is stashed on the fabric instance and fingerprinted by the
-    edge count, so adding or removing links invalidates it. Editing a
-    link *rate* in place (same edge count) does not; call
+    edge count plus the fabric's dynamic link-state version, so adding
+    or removing links invalidates it, and so does failing or restoring
+    one (``Fabric.fail_link`` both bumps the version and drops the
+    cache). Links that are currently down carry no entry, so a flow
+    whose pre-assigned path crosses one fails loudly instead of
+    transferring over a dead link. Editing a link *rate* in place (same
+    edge count, same state version) is invisible; call
     :func:`invalidate_link_capacity_cache` after such a mutation.
     """
-    n_edges = fabric.graph.number_of_edges()
+    fingerprint = (fabric.graph.number_of_edges(), fabric.state_version)
     cache = getattr(fabric, "_repro_capacity_cache", None)
-    if cache is not None and cache[0] == n_edges:
+    if cache is not None and cache[0] == fingerprint:
         return cache[1]
     caps = {
         (a, b) if a <= b else (b, a): data["rate_gbps"] * 1e9 / 8.0
-        for a, b, data in fabric.graph.edges(data=True)
+        for a, b, data in fabric.active_graph().edges(data=True)
     }
-    fabric._repro_capacity_cache = (n_edges, caps)
+    fabric._repro_capacity_cache = (fingerprint, caps)
     return caps
 
 

@@ -13,7 +13,7 @@ network leg.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import RandomStream, Resource, Simulator

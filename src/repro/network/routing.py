@@ -11,11 +11,16 @@ from repro.network.topology import Fabric
 
 
 def shortest_path(fabric: Fabric, src: str, dst: str) -> List[str]:
-    """One hop-count shortest path from ``src`` to ``dst``."""
+    """One hop-count shortest path from ``src`` to ``dst``.
+
+    Routes over the fabric's *active* topology, so paths avoid links
+    and nodes currently marked down by fault injection; with nothing
+    failed this is the full graph.
+    """
     _check_endpoints(fabric, src, dst)
     try:
-        return nx.shortest_path(fabric.graph, src, dst)
-    except nx.NetworkXNoPath as exc:
+        return nx.shortest_path(fabric.active_graph(), src, dst)
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
         raise TopologyError(f"no path {src} -> {dst}") from exc
 
 
@@ -23,12 +28,14 @@ def ecmp_paths(fabric: Fabric, src: str, dst: str) -> List[List[str]]:
     """All equal-cost (hop-count) shortest paths, deterministically ordered.
 
     This is the path set an ECMP hash spreads flows across; fat-trees owe
-    their bisection bandwidth to its size.
+    their bisection bandwidth to its size. Computed over the fabric's
+    *active* topology, so a link failure reroutes flows across the
+    surviving equal-cost paths.
     """
     _check_endpoints(fabric, src, dst)
     try:
-        paths = list(nx.all_shortest_paths(fabric.graph, src, dst))
-    except nx.NetworkXNoPath as exc:
+        paths = list(nx.all_shortest_paths(fabric.active_graph(), src, dst))
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
         raise TopologyError(f"no path {src} -> {dst}") from exc
     return sorted(paths)
 

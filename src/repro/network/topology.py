@@ -9,7 +9,7 @@ networkx graphs wrapped with role metadata and capacity bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Tuple
 
 import networkx as nx
 
@@ -30,10 +30,27 @@ class Fabric:
 
     Wraps an undirected :class:`networkx.Graph`; each edge carries
     ``rate_gbps``; each node carries ``role``.
+
+    Links and nodes also carry *dynamic* up/down state for runtime fault
+    injection (:mod:`repro.engine.faults`): :meth:`fail_link` /
+    :meth:`fail_node` mark elements down without structurally editing the
+    graph, :meth:`active_graph` exposes the surviving topology for
+    routing, and every state change bumps :attr:`state_version`, which
+    invalidates the flow solver's capacity cache. A fabric with nothing
+    failed behaves (and routes) exactly as before this state existed.
     """
 
     name: str
     graph: nx.Graph = field(default_factory=nx.Graph)
+    _down_links: set = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
+    _down_nodes: set = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
+    _state_version: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     def add_node(self, node: str, role: str) -> None:
         """Add a node with a role."""
@@ -51,6 +68,119 @@ class Fabric:
         if self.graph.has_edge(a, b):
             raise TopologyError(f"duplicate link {a}--{b}")
         self.graph.add_edge(a, b, rate_gbps=rate_gbps)
+
+    # -- dynamic link/node state (fault injection) -------------------------
+
+    @staticmethod
+    def link_key(a: str, b: str) -> Tuple[str, str]:
+        """Canonical (sorted-endpoint) key for the link between two nodes."""
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped on every up/down state change.
+
+        Caches keyed on the fabric (e.g. the flow solver's link-capacity
+        table) include this in their fingerprint so a link failure
+        invalidates them even though the edge count is unchanged.
+        """
+        return self._state_version
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Mark the ``a``--``b`` link down (idempotent)."""
+        if not self.graph.has_edge(a, b):
+            raise TopologyError(f"no link {a}--{b} to fail")
+        key = self.link_key(a, b)
+        if key not in self._down_links:
+            self._down_links.add(key)
+            self._bump_state()
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring the ``a``--``b`` link back up (idempotent)."""
+        if not self.graph.has_edge(a, b):
+            raise TopologyError(f"no link {a}--{b} to restore")
+        key = self.link_key(a, b)
+        if key in self._down_links:
+            self._down_links.discard(key)
+            self._bump_state()
+
+    def fail_node(self, node: str) -> None:
+        """Mark ``node`` (and implicitly its links) down (idempotent)."""
+        if node not in self.graph:
+            raise TopologyError(f"unknown node: {node}")
+        if node not in self._down_nodes:
+            self._down_nodes.add(node)
+            self._bump_state()
+
+    def restore_node(self, node: str) -> None:
+        """Bring ``node`` back up (idempotent)."""
+        if node not in self.graph:
+            raise TopologyError(f"unknown node: {node}")
+        if node in self._down_nodes:
+            self._down_nodes.discard(node)
+            self._bump_state()
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """Whether the link exists and neither it nor an endpoint is down."""
+        if not self.graph.has_edge(a, b):
+            raise TopologyError(f"no link {a}--{b}")
+        return (
+            self.link_key(a, b) not in self._down_links
+            and a not in self._down_nodes
+            and b not in self._down_nodes
+        )
+
+    def node_is_up(self, node: str) -> bool:
+        """Whether ``node`` exists and is not currently failed."""
+        if node not in self.graph:
+            raise TopologyError(f"unknown node: {node}")
+        return node not in self._down_nodes
+
+    @property
+    def failed_links(self) -> List[Tuple[str, str]]:
+        """Sorted canonical keys of explicitly failed links."""
+        return sorted(self._down_links)
+
+    @property
+    def failed_nodes(self) -> List[str]:
+        """Sorted names of currently failed nodes."""
+        return sorted(self._down_nodes)
+
+    def active_graph(self) -> nx.Graph:
+        """The surviving topology: up nodes and up links only.
+
+        With nothing failed this returns the underlying graph itself
+        (zero-copy, so healthy fabrics route exactly as before); with
+        failures it returns a filtered copy, cached per
+        :attr:`state_version`.
+        """
+        if not self._down_links and not self._down_nodes:
+            return self.graph
+        cached = getattr(self, "_active_cache", None)
+        if cached is not None and cached[0] == self._state_version:
+            return cached[1]
+        survivor = nx.Graph()
+        for node, data in self.graph.nodes(data=True):
+            if node not in self._down_nodes:
+                survivor.add_node(node, **data)
+        for a, b, data in self.graph.edges(data=True):
+            if (
+                self.link_key(a, b) not in self._down_links
+                and a not in self._down_nodes
+                and b not in self._down_nodes
+            ):
+                survivor.add_edge(a, b, **data)
+        self._active_cache = (self._state_version, survivor)
+        return survivor
+
+    def _bump_state(self) -> None:
+        """Advance the state version and drop state-derived caches."""
+        self._state_version += 1
+        # The flow solver stashes its capacity table on the instance;
+        # a state change must drop it even though the edge count is
+        # unchanged (see repro.network.flows._fabric_link_capacities).
+        if hasattr(self, "_repro_capacity_cache"):
+            del self._repro_capacity_cache
 
     # -- queries -----------------------------------------------------------
 

@@ -29,6 +29,10 @@ Benches
     shape) through :class:`~repro.network.flows.FlowSimulator`.
 ``flow_solver_scaling``
     A smaller random-pair flow set across the whole fabric.
+``switch_failure_impact``
+    Per-switch bisection-impact analysis of a host-heavy leaf-spine:
+    the production contract-once/reuse-the-baseline-flow analysis vs
+    the frozen copy-and-recompute-per-switch reference.
 
 Every bench verifies that both kernels produce the same simulation
 results before any timing is reported (exactly for the engine benches,
@@ -190,6 +194,18 @@ def _bench_flow_solver(solver_cls, make_flows) -> _BenchOutcome:
     return elapsed, tuple(f.finish_s for f in flows)
 
 
+def _bench_switch_impact(impl, hosts_per_leaf: int) -> _BenchOutcome:
+    from repro.network.topology import leaf_spine
+
+    fabric = leaf_spine(
+        n_spines=4, n_leaves=8, hosts_per_leaf=hosts_per_leaf
+    )
+    start = time.perf_counter()
+    worst = impl(fabric)
+    elapsed = time.perf_counter() - start
+    return elapsed, tuple(value for _, value in sorted(worst.items()))
+
+
 # ---------------------------------------------------------------------------
 # Harness.
 # ---------------------------------------------------------------------------
@@ -275,6 +291,7 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     """
     from repro.engine.resources import Resource
     from repro.engine.sim import Simulator
+    from repro.network.failures import single_switch_failure_impact
     from repro.network.flows import FlowSimulator
 
     scale = 0.1 if quick else 1.0
@@ -285,6 +302,7 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     n_requests = max(int(2_000 * scale), 100)
     n_shuffle = max(int(500 * scale), 50)
     n_random = max(int(150 * scale), 30)
+    hosts_per_leaf = 4 if quick else 16
 
     return [
         BenchSpec(
@@ -352,6 +370,22 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
             ),
             exact=False,
             target_speedup=None if quick else 5.0,
+        ),
+        BenchSpec(
+            name="switch_failure_impact",
+            suite="network",
+            description=(
+                f"per-switch bisection impact on a 4x8 leaf-spine with "
+                f"{hosts_per_leaf} hosts per leaf"
+            ),
+            candidate=lambda: _bench_switch_impact(
+                single_switch_failure_impact, hosts_per_leaf
+            ),
+            reference=lambda: _bench_switch_impact(
+                _perfref.reference_single_switch_failure_impact,
+                hosts_per_leaf,
+            ),
+            exact=False,
         ),
         BenchSpec(
             name="flow_solver_scaling",

@@ -273,6 +273,19 @@ EXPERIMENTS: List[Experiment] = [
         ("repro.engine.observability", "repro.reporting.traces"),
         "benchmarks/test_bench_observability.py",
     ),
+    Experiment(
+        "X12", "SI (Catapult) + SIV.A.3 (dependable fabrics)",
+        "Hedging/retry/failover recover most fault-inflated tail latency for single-digit-percent extra work",
+        "chaos p99 recovery above 50% at <2x issued work; resilient availability strictly above policy-off under the same fault schedule; host outages routed around with the kill/waste cost reported",
+        (
+            "repro.engine.faults",
+            "repro.engine.resilience",
+            "repro.workloads.chaos",
+            "repro.scheduler.online",
+        ),
+        "benchmarks/test_bench_chaos.py",
+        entrypoint="repro.runner.entrypoints:run_x12",
+    ),
 ]
 
 

@@ -46,6 +46,7 @@ QUICK_CONFIGS: Dict[str, Dict[str, Any]] = {
     "E14": {"n_events": 20_000},
     "E15": {},
     "E16": {},
+    "X12": {"n_requests": 600, "n_reads": 400, "n_jobs": 10},
 }
 
 
@@ -597,3 +598,19 @@ def run_e16(config: Mapping[str, Any], seed: int) -> RunResult:
         == len(RECOMMENDATIONS)
     )
     return _result("E16", seed, cfg, metrics)
+
+
+def run_x12(config: Mapping[str, Any], seed: int) -> RunResult:
+    """X12: workloads under injected faults, resilience policies on/off."""
+    from repro.workloads import chaos_exhibit
+
+    cfg = _merge(
+        {"n_requests": 4_000, "n_reads": 2_500, "n_jobs": 24}, config
+    )
+    metrics = chaos_exhibit(
+        n_requests=cfg["n_requests"],
+        n_reads=cfg["n_reads"],
+        n_jobs=cfg["n_jobs"],
+        seed=seed,
+    )
+    return _result("X12", seed, cfg, metrics)

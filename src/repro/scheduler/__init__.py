@@ -8,6 +8,7 @@ from repro.scheduler.hetero import (
     executors_from_cluster,
 )
 from repro.scheduler.online import (
+    HostOutage,
     OnlineJob,
     OnlineOutcome,
     OnlineScheduler,
@@ -19,6 +20,7 @@ __all__ = [
     "Assignment",
     "Executor",
     "HeterogeneousScheduler",
+    "HostOutage",
     "Job",
     "OnlineJob",
     "OnlineOutcome",

@@ -17,7 +17,7 @@ individually saturate the pool -- the quantitative case for R11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analytics.blocks import BlockRegistry, default_blocks
@@ -39,12 +39,36 @@ class OnlineJob:
             raise SchedulingError("negative arrival time")
 
 
+@dataclass(frozen=True)
+class HostOutage:
+    """One host-level outage window.
+
+    While the window is open every executor on ``host`` is unavailable:
+    a task that would start inside the window waits (no work lost), and
+    a task already running when the window opens is killed and restarted
+    from scratch once the host comes back -- the partial execution is
+    counted as wasted work.
+    """
+
+    host: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise SchedulingError("negative outage start")
+        if self.end_s <= self.start_s:
+            raise SchedulingError("outage must end after it starts")
+
+
 @dataclass
 class OnlineOutcome:
     """Per-job completion accounting for one policy run."""
 
     completions: Dict[str, float]  # job name -> finish time
     arrivals: Dict[str, float]
+    rescheduled: int = 0  # task executions killed by outages and redone
+    wasted_s: float = 0.0  # executor-seconds of killed partial work
 
     @property
     def makespan_s(self) -> float:
@@ -108,13 +132,25 @@ class OnlineScheduler:
         self._record_outcome(outcome, policy="exclusive")
         return outcome
 
-    def run_shared(self, stream: List[OnlineJob]) -> OnlineOutcome:
+    def run_shared(
+        self,
+        stream: List[OnlineJob],
+        outages: Optional[List[HostOutage]] = None,
+    ) -> OnlineOutcome:
         """Dynamic work-conserving allocation across concurrent jobs.
 
         Tasks from all jobs are placed in global earliest-ready order
-        with EFT, each constrained by its job's arrival time.
+        with EFT, each constrained by its job's arrival time. With
+        ``outages``, executors on a failed host are unavailable during
+        each window: tasks caught mid-run are killed and restarted after
+        the outage (EFT sees the post-outage finish time, so placement
+        routes around down hosts when a surviving executor finishes
+        sooner), and the outcome reports the kill count and wasted work.
         """
         ordered = self._validated(stream)
+        outage_windows = self._outage_windows(outages)
+        rescheduled = 0
+        wasted_s = 0.0
         free_at: Dict[str, float] = {e.name: 0.0 for e in self.executors}
         finish: Dict[Tuple[str, str], Tuple[float, Executor]] = {}
         completions: Dict[str, float] = {}
@@ -128,7 +164,7 @@ class OnlineScheduler:
 
         for arrival, job_name, task_id in work:
             task = jobs[job_name].tasks[task_id]
-            best: Optional[Tuple[float, float, Executor]] = None
+            best: Optional[Tuple[float, float, Executor, int, float]] = None
             for executor in self.executors:
                 duration = _task_time(task, executor, self.blocks)
                 if duration is None:
@@ -147,7 +183,13 @@ class OnlineScheduler:
                         ),
                     )
                 start = max(ready, free_at[executor.name])
-                candidate = (start + duration, start, executor)
+                kills, wasted = 0, 0.0
+                windows = outage_windows.get(executor.name)
+                if windows:
+                    start, kills, wasted = _next_free_interval(
+                        start, duration, windows
+                    )
+                candidate = (start + duration, start, executor, kills, wasted)
                 if best is None or (candidate[0], candidate[2].name) < (
                     best[0], best[2].name
                 ):
@@ -156,7 +198,9 @@ class OnlineScheduler:
                 raise SchedulingError(
                     f"no executor can run {job_name}/{task_id}"
                 )
-            end, _start, executor = best
+            end, _start, executor, kills, wasted = best
+            rescheduled += kills
+            wasted_s += wasted
             free_at[executor.name] = end
             finish[(job_name, task_id)] = (end, executor)
             completions[job_name] = max(completions.get(job_name, 0.0), end)
@@ -178,11 +222,36 @@ class OnlineScheduler:
                 registry.counter(f"scheduler.busy_s.{executor.name}").inc(
                     end - _start
                 )
-        outcome = OnlineOutcome(completions=completions, arrivals=arrivals)
+                if kills:
+                    registry.counter("scheduler.tasks_rescheduled").inc(kills)
+                    registry.counter("scheduler.wasted_s").inc(wasted)
+        outcome = OnlineOutcome(
+            completions=completions,
+            arrivals=arrivals,
+            rescheduled=rescheduled,
+            wasted_s=wasted_s,
+        )
         self._record_outcome(outcome, policy="shared")
         return outcome
 
     # -- helpers ---------------------------------------------------------------
+
+    def _outage_windows(
+        self, outages: Optional[List[HostOutage]]
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Merged, sorted outage windows keyed by executor name."""
+        if not outages:
+            return {}
+        by_host: Dict[str, List[Tuple[float, float]]] = {}
+        for outage in outages:
+            by_host.setdefault(outage.host, []).append(
+                (outage.start_s, outage.end_s)
+            )
+        return {
+            executor.name: _merge_windows(by_host[executor.host])
+            for executor in self.executors
+            if executor.host in by_host
+        }
 
     def _record_outcome(self, outcome: OnlineOutcome, policy: str) -> None:
         """Publish per-job completion-time histograms for one policy run."""
@@ -238,6 +307,50 @@ class OnlineScheduler:
             free_at[executor.name] = end
             finish[task_id] = (end, executor)
         return max(end for end, _ in finish.values())
+
+
+def _merge_windows(
+    windows: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Sort and coalesce overlapping or touching (start, end) intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _next_free_interval(
+    start: float,
+    duration: float,
+    windows: List[Tuple[float, float]],
+) -> Tuple[float, int, float]:
+    """Earliest start for an uninterrupted ``duration`` run given outages.
+
+    ``windows`` must be sorted and disjoint (see :func:`_merge_windows`).
+    Returns ``(start, kills, wasted_s)``: a start inside a window is
+    deferred to the window's end for free (the executor was down, so the
+    task never launched), while a window opening mid-run kills the task
+    -- the partial run before the window counts as wasted work and the
+    task restarts from scratch after the window.
+    """
+    kills = 0
+    wasted = 0.0
+    for window_start, window_end in windows:
+        if window_end <= start:
+            continue
+        if window_start <= start:
+            start = window_end
+        elif start + duration > window_start:
+            kills += 1
+            wasted += window_start - start
+            start = window_end
+        else:
+            break
+    return start, kills, wasted
 
 
 def poisson_job_stream(

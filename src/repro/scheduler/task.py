@@ -9,11 +9,9 @@ heterogeneity the rest of the library models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
-from repro.analytics.blocks import BlockRegistry, BuildingBlock
 from repro.errors import SchedulingError
-from repro.node.device import ComputeDevice
 
 
 @dataclass

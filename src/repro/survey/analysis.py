@@ -8,14 +8,13 @@ qualitative threshold ("majority", "almost all", ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.errors import ModelError
 from repro.survey.stakeholder import (
     CompanyRole,
     Corpus,
-    Sector,
     THEME_BOTTLENECK_AWARE,
     THEME_HW_SW_DISCONNECT,
     THEME_NO_HW_ROADMAP,

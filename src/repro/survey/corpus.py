@@ -16,12 +16,11 @@ corpus whose aggregates reproduce them:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.engine.randomness import RandomStream
 from repro.errors import ModelError
 from repro.survey.stakeholder import (
-    ALL_THEMES,
     Company,
     CompanyRole,
     CompanySize,

@@ -6,6 +6,13 @@ the Catapult-style search service (E2) and the HPC/Big Data convergence
 trigger pipeline (E14).
 """
 
+from repro.workloads.chaos import (
+    chaos_exhibit,
+    latency_summary,
+    run_memory_chaos,
+    run_scheduler_chaos,
+    run_search_chaos,
+)
 from repro.workloads.edge import (
     EdgeScenario,
     PlacementReport,
@@ -52,12 +59,17 @@ __all__ = [
     "TriggerReport",
     "WanLink",
     "best_placement",
+    "chaos_exhibit",
     "clickstream",
     "compare_architectures",
     "convergence_comparison",
     "evaluate_placements",
     "gaussian_blobs",
+    "latency_summary",
     "max_qps_within_sla",
+    "run_memory_chaos",
+    "run_scheduler_chaos",
+    "run_search_chaos",
     "run_search_service",
     "run_suite",
     "run_trigger_pipeline",

@@ -18,7 +18,6 @@ from repro.frameworks.streaming import (
     StreamRecord,
     StreamingExecutor,
     TumblingWindow,
-    max_sustainable_rate_records_per_s,
 )
 from repro.node.device import ComputeDevice
 from repro.workloads.generator import science_events

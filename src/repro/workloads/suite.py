@@ -10,10 +10,10 @@ so architectures can be compared side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.analytics import kmeans, pagerank, tokenize
+from repro.analytics import kmeans, tokenize
 from repro.cluster.machine import Cluster
 from repro.errors import ModelError
 from repro.frameworks import (

@@ -7,7 +7,6 @@ from repro.cluster import (
     ComposableCluster,
     ConvergedCluster,
     ResourceVector,
-    UpgradePricing,
     skewed_demand_stream,
     stranding_experiment,
     uniform_cluster,

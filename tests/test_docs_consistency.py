@@ -8,7 +8,6 @@ stay true. These tests fail when docs drift from code.
 import pathlib
 import re
 
-import pytest
 
 from repro.reporting import EXPERIMENTS
 

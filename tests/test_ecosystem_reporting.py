@@ -180,8 +180,8 @@ class TestTables:
 
 class TestExperimentRegistry:
     def test_seventeen_experiments(self):
-        # T1 + F1 + E1..E16 + X1..X10 = 28
-        assert len(EXPERIMENTS) == 28
+        # T1 + F1 + E1..E16 + X1..X10 + X12 = 29
+        assert len(EXPERIMENTS) == 29
 
     def test_ids_unique(self):
         table = registry()

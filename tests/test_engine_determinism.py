@@ -13,7 +13,6 @@ output. These tests pin that down three ways:
   identical event trace across kernels and across repeated runs.
 """
 
-import pytest
 
 from repro import _perfref
 from repro.engine import Observability, Resource, Simulator

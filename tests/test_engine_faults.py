@@ -1,0 +1,562 @@
+"""Tests for dynamic fault injection and the resilience primitives."""
+
+import pytest
+
+from repro.engine import (
+    FaultInjector,
+    FaultSpec,
+    RandomStream,
+    RetryPolicy,
+    Simulator,
+    hedge,
+    retry,
+    with_deadline,
+)
+from repro.engine.faults import (
+    HOST_FAILURE,
+    LINK_FLAP,
+    STRAGGLER,
+    SWITCH_CRASH,
+)
+from repro.errors import (
+    DeadlineExceeded,
+    RetryExhausted,
+    SimulationError,
+    TopologyError,
+)
+from repro.network import leaf_spine
+from repro.network.routing import ecmp_paths
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultSpec(kind="gremlin", targets=("x",), mtbf_s=1.0, mttr_s=1.0)
+
+    def test_needs_targets(self):
+        with pytest.raises(SimulationError):
+            FaultSpec(kind=STRAGGLER, targets=(), mtbf_s=1.0, mttr_s=1.0)
+
+    def test_link_targets_must_be_pairs(self):
+        with pytest.raises(SimulationError):
+            FaultSpec(kind=LINK_FLAP, targets=("leaf0",), mtbf_s=1.0,
+                      mttr_s=1.0)
+
+    def test_rates_positive(self):
+        with pytest.raises(SimulationError):
+            FaultSpec(kind=STRAGGLER, targets=("x",), mtbf_s=0.0, mttr_s=1.0)
+
+    def test_window_ordering(self):
+        with pytest.raises(SimulationError):
+            FaultSpec(kind=STRAGGLER, targets=("x",), mtbf_s=1.0, mttr_s=1.0,
+                      start_s=5.0, end_s=5.0)
+
+    def test_fabric_kind_needs_fabric(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=1)
+        with pytest.raises(SimulationError):
+            injector.install(
+                FaultSpec(kind=SWITCH_CRASH, targets=("spine0",),
+                          mtbf_s=1.0, mttr_s=1.0)
+            )
+
+    def test_unknown_link_rejected_at_install(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=1, fabric=leaf_spine(2, 2, 2))
+        with pytest.raises(SimulationError):
+            injector.install(
+                FaultSpec(kind=LINK_FLAP, targets=(("leaf0", "leaf1"),),
+                          mtbf_s=1.0, mttr_s=1.0)
+            )
+
+
+def _run_straggler_schedule(seed, *, order=("a", "b")):
+    sim = Simulator()
+    injector = FaultInjector(sim, seed=seed)
+    for name in order:
+        injector.install(
+            FaultSpec(kind=STRAGGLER, targets=(name,), mtbf_s=2.0,
+                      mttr_s=0.5, end_s=40.0)
+        )
+    sim.run()
+    return [(e.target, e.down_s, e.up_s) for e in injector.events]
+
+
+class TestInjectorSchedules:
+    def test_deterministic_given_seed(self):
+        assert _run_straggler_schedule(9) == _run_straggler_schedule(9)
+
+    def test_seed_changes_schedule(self):
+        assert _run_straggler_schedule(9) != _run_straggler_schedule(10)
+
+    def test_install_order_does_not_matter(self):
+        # Streams fork per (kind, target), so each target's schedule is
+        # independent of when its spec was installed.
+        forward = sorted(_run_straggler_schedule(9, order=("a", "b")))
+        reverse = sorted(_run_straggler_schedule(9, order=("b", "a")))
+        assert forward == reverse
+
+    def test_window_respected(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=3)
+        injector.install(
+            FaultSpec(kind=STRAGGLER, targets=("w",), mtbf_s=1.0,
+                      mttr_s=0.2, start_s=10.0, end_s=20.0)
+        )
+        sim.run()
+        assert injector.events
+        assert all(e.down_s >= 10.0 for e in injector.events)
+        # Faults only *start* inside the window; repairs may run over.
+        assert all(e.down_s < 20.0 for e in injector.events)
+
+    def test_max_faults_caps_the_schedule(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=3)
+        injector.install(
+            FaultSpec(kind=STRAGGLER, targets=("w",), mtbf_s=0.5,
+                      mttr_s=0.1, max_faults=3)
+        )
+        sim.run()
+        assert len(injector.events) == 3
+
+    def test_straggler_slowdown_visible_while_active(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=5)
+        injector.install(
+            FaultSpec(kind=STRAGGLER, targets=("w",), mtbf_s=1.0,
+                      mttr_s=1.0, slowdown=8.0, max_faults=1)
+        )
+        seen = []
+
+        def probe():
+            while not injector.events:
+                seen.append(injector.slowdown("w"))
+                yield sim.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        assert 8.0 in seen and 1.0 in seen
+        assert injector.slowdown("w") == 1.0
+
+    def test_host_failure_tracked_and_listener_notified(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=6)
+        phases = []
+        injector.subscribe(
+            lambda kind, label, phase, now: phases.append((label, phase))
+        )
+        injector.install(
+            FaultSpec(kind=HOST_FAILURE, targets=("host3",), mtbf_s=1.0,
+                      mttr_s=0.5, max_faults=2)
+        )
+        down_samples = []
+
+        def probe():
+            while len(injector.events) < 2:
+                down_samples.append(injector.is_down("host3"))
+                yield d(sim)
+
+        def d(s):
+            return s.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        assert phases == [("host3", "down"), ("host3", "up")] * 2
+        assert True in down_samples and False in down_samples
+        assert not injector.is_down("host3")
+        assert injector.outage_windows(HOST_FAILURE) == injector.events
+
+
+class TestFabricIntegration:
+    def test_link_flap_mutates_and_restores_topology(self):
+        fabric = leaf_spine(2, 2, 2)
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=11, fabric=fabric)
+        injector.install(
+            FaultSpec(kind=LINK_FLAP, targets=(("leaf0", "spine0"),),
+                      mtbf_s=1.0, mttr_s=1.0, max_faults=1)
+        )
+        states = []
+
+        def probe():
+            while not injector.events:
+                states.append(fabric.link_is_up("leaf0", "spine0"))
+                yield sim.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        assert False in states  # observed down mid-run
+        assert fabric.link_is_up("leaf0", "spine0")  # repaired at the end
+        assert fabric.failed_links == []
+
+    def test_link_flap_invalidates_flow_capacity_cache(self):
+        from repro.network.flows import _fabric_link_capacities
+
+        fabric = leaf_spine(2, 2, 2)
+        before = _fabric_link_capacities(fabric)
+        assert _fabric_link_capacities(fabric) is before  # cache hit
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=11, fabric=fabric)
+        injector.install(
+            FaultSpec(kind=LINK_FLAP, targets=(("leaf0", "spine0"),),
+                      mtbf_s=1.0, mttr_s=1.0, max_faults=1)
+        )
+        caps_down = []
+
+        def probe():
+            while not injector.events:
+                if not fabric.link_is_up("leaf0", "spine0"):
+                    caps_down.append(_fabric_link_capacities(fabric))
+                yield sim.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        key = tuple(sorted(("leaf0", "spine0")))
+        assert caps_down and key not in caps_down[0]
+        after = _fabric_link_capacities(fabric)
+        assert key in after and after == before
+
+    def test_routing_reroutes_around_flapped_link(self):
+        fabric = leaf_spine(2, 2, 2)
+        assert len(ecmp_paths(fabric, "host0-0", "host1-0")) == 2
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=11, fabric=fabric)
+        injector.install(
+            FaultSpec(kind=LINK_FLAP, targets=(("leaf0", "spine0"),),
+                      mtbf_s=1.0, mttr_s=1.0, max_faults=1)
+        )
+        down_paths = []
+
+        def probe():
+            while not injector.events:
+                if not fabric.link_is_up("leaf0", "spine0"):
+                    down_paths.append(ecmp_paths(fabric, "host0-0", "host1-0"))
+                yield sim.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        assert down_paths
+        for paths in down_paths:
+            assert paths == [["host0-0", "leaf0", "spine1", "leaf1",
+                              "host1-0"]]
+        assert len(ecmp_paths(fabric, "host0-0", "host1-0")) == 2
+
+    def test_switch_crash_can_partition_and_repair(self):
+        fabric = leaf_spine(1, 2, 2)  # single spine: crashing it partitions
+        sim = Simulator()
+        injector = FaultInjector(sim, seed=2, fabric=fabric)
+        injector.install(
+            FaultSpec(kind=SWITCH_CRASH, targets=("spine0",), mtbf_s=1.0,
+                      mttr_s=1.0, max_faults=1)
+        )
+        saw_partition = []
+
+        def probe():
+            while not injector.events:
+                if injector.is_down("spine0"):
+                    with pytest.raises(TopologyError):
+                        ecmp_paths(fabric, "host0-0", "host1-0")
+                    saw_partition.append(True)
+                yield sim.timeout(0.05)
+
+        sim.spawn(probe())
+        sim.run()
+        assert saw_partition
+        assert ecmp_paths(fabric, "host0-0", "host1-0")
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.1,
+                             multiplier=2.0, max_delay_s=0.5)
+        assert policy.schedule(5) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        a = policy.schedule(50, RandomStream(4, "j"))
+        b = policy.schedule(50, RandomStream(4, "j"))
+        assert a == b
+        assert a != policy.schedule(50, RandomStream(5, "j"))
+        assert all(0.75 <= delay <= 1.25 for delay in a)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        assert policy.schedule(3) == [1.0, 1.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(multiplier=0.0)
+
+
+class TestRetry:
+    def test_first_try_success_costs_nothing(self):
+        sim = Simulator()
+
+        def attempt():
+            yield sim.timeout(0.25)
+            return "ok"
+
+        def driver():
+            value = yield from retry(sim, attempt)
+            return value
+
+        handle = sim.spawn(driver())
+        assert sim.run() == 0.25
+        assert handle.value == "ok"
+
+    def test_recovers_after_transient_failures_with_backoff(self):
+        sim = Simulator()
+        calls = [0]
+
+        def attempt():
+            calls[0] += 1
+            yield sim.timeout(0.1)
+            if calls[0] < 3:
+                raise RuntimeError("transient")
+            return calls[0]
+
+        def driver():
+            value = yield from retry(
+                sim, attempt,
+                RetryPolicy(max_attempts=5, base_delay_s=0.5, multiplier=2.0),
+            )
+            return value
+
+        handle = sim.spawn(driver())
+        # 3 attempts x 0.1 plus backoffs 0.5 and 1.0 after the failures.
+        assert sim.run() == pytest.approx(0.3 + 0.5 + 1.0)
+        assert handle.value == 3
+
+    def test_exhaustion_raises_with_attempt_count_and_cause(self):
+        sim = Simulator()
+
+        def attempt():
+            yield sim.timeout(0.01)
+            raise ValueError("always broken")
+
+        def driver():
+            try:
+                yield from retry(sim, attempt, RetryPolicy(max_attempts=3))
+            except RetryExhausted as exc:
+                return (exc.attempts, type(exc.__cause__).__name__)
+
+        handle = sim.spawn(driver())
+        sim.run()
+        assert handle.value == (3, "ValueError")
+
+
+class TestWithDeadline:
+    def test_relays_success_inside_deadline(self):
+        sim = Simulator()
+
+        def driver():
+            value = yield with_deadline(sim, sim.timeout(0.5, "v"), 1.0)
+            return value
+
+        handle = sim.spawn(driver())
+        assert sim.run() == 1.0  # the abandoned timer still drains
+        assert handle.value == "v"
+
+    def test_expiry_raises_deadline_exceeded(self):
+        sim = Simulator()
+
+        def driver():
+            try:
+                yield with_deadline(sim, sim.event(), 0.75)
+            except DeadlineExceeded as exc:
+                return exc.deadline_s
+
+        handle = sim.spawn(driver())
+        sim.run()
+        assert handle.value == 0.75
+
+    def test_expiry_cancels_the_watched_event(self):
+        sim = Simulator()
+        watched = sim.event()
+
+        def driver():
+            try:
+                yield with_deadline(sim, watched, 0.5)
+            except DeadlineExceeded:
+                return "expired"
+
+        handle = sim.spawn(driver())
+        sim.run()
+        assert handle.value == "expired"
+        assert watched.cancelled  # queue owners may now prune the waiter
+
+    def test_negative_deadline_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            with_deadline(sim, sim.event(), -1.0)
+
+
+class TestHedge:
+    def test_fast_primary_never_hedges(self):
+        sim = Simulator()
+
+        def attempt():
+            yield sim.timeout(0.1)
+            return "fast"
+
+        def driver():
+            outcome = yield from hedge(sim, attempt, delay_s=1.0)
+            return outcome
+
+        handle = sim.spawn(driver())
+        sim.run()
+        assert handle.value.value == "fast"
+        assert handle.value.winner == 0
+        assert handle.value.launched == 1
+
+    def test_winner_takes_all_and_loser_is_cancelled(self):
+        sim = Simulator()
+        counter = [0]
+        unwound = []
+
+        def make_attempt():
+            index = counter[0]
+            counter[0] += 1
+
+            def attempt(index=index):
+                try:
+                    # Copy 0 straggles; copy 1 is quick.
+                    yield sim.timeout(5.0 if index == 0 else 0.1)
+                    return index
+                finally:
+                    unwound.append((index, sim.now))
+
+            return attempt()
+
+        def driver():
+            outcome = yield from hedge(sim, make_attempt, delay_s=0.5)
+            return (sim.now, outcome)
+
+        handle = sim.spawn(driver())
+        sim.run()
+        finish, outcome = handle.value
+        assert (outcome.winner, outcome.value, outcome.launched) == (1, 1, 2)
+        # Hedge fired at 0.5 and won at 0.6; the loser's finally ran at
+        # 0.6 when it was interrupted, not at its natural 5.0 completion.
+        assert finish == pytest.approx(0.6)
+        assert unwound == [(1, pytest.approx(0.6)), (0, pytest.approx(0.6))]
+
+    def test_failed_copy_triggers_immediate_replacement(self):
+        sim = Simulator()
+        counter = [0]
+
+        def make_attempt():
+            index = counter[0]
+            counter[0] += 1
+
+            def attempt(index=index):
+                yield sim.timeout(0.1)
+                if index == 0:
+                    raise RuntimeError("copy 0 dies")
+                return index
+
+            return attempt()
+
+        def driver():
+            outcome = yield from hedge(sim, make_attempt, delay_s=9.0)
+            return (sim.now, outcome)
+
+        handle = sim.spawn(driver())
+        sim.run()
+        finish, outcome = handle.value
+        # Replacement launched at 0.1 (not at the 9.0 hedge delay).
+        assert finish == pytest.approx(0.2)
+        assert outcome.winner == 1
+        assert outcome.launched == 2
+
+    def test_all_copies_failing_raises_last_error(self):
+        sim = Simulator()
+
+        def attempt():
+            yield sim.timeout(0.1)
+            raise ValueError("down")
+
+        def driver():
+            try:
+                yield from hedge(sim, attempt, delay_s=0.05, max_copies=3)
+            except ValueError:
+                return "all failed"
+
+        handle = sim.spawn(driver())
+        sim.run()
+        assert handle.value == "all failed"
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            next(iter(hedge(sim, lambda: iter(()), delay_s=0.1,
+                            max_copies=0)))
+        with pytest.raises(SimulationError):
+            next(iter(hedge(sim, lambda: iter(()), delay_s=-0.1)))
+
+
+class TestSchedulerOutages:
+    def test_merge_windows_coalesces_overlaps(self):
+        from repro.scheduler.online import _merge_windows
+
+        merged = _merge_windows([(5.0, 7.0), (1.0, 2.0), (1.5, 3.0),
+                                 (3.0, 4.0)])
+        assert merged == [(1.0, 4.0), (5.0, 7.0)]
+
+    def test_next_free_interval_defers_inside_window(self):
+        from repro.scheduler.online import _next_free_interval
+
+        start, kills, wasted = _next_free_interval(
+            2.5, 1.0, [(2.0, 4.0)]
+        )
+        assert (start, kills, wasted) == (4.0, 0, 0.0)
+
+    def test_next_free_interval_kills_running_task(self):
+        from repro.scheduler.online import _next_free_interval
+
+        start, kills, wasted = _next_free_interval(
+            1.0, 3.0, [(2.0, 4.0)]
+        )
+        assert (start, kills, wasted) == (4.0, 1, 1.0)
+
+    def test_next_free_interval_fits_in_gap(self):
+        from repro.scheduler.online import _next_free_interval
+
+        start, kills, wasted = _next_free_interval(
+            0.0, 1.5, [(2.0, 4.0)]
+        )
+        assert (start, kills, wasted) == (0.0, 0, 0.0)
+
+    def test_run_shared_outages_deterministic_and_accounted(self):
+        from repro.workloads.chaos import run_scheduler_chaos
+
+        first = run_scheduler_chaos(n_jobs=12, seed=0)
+        second = run_scheduler_chaos(n_jobs=12, seed=0)
+        assert first == second
+        assert first["tasks_rescheduled"] > 0
+        assert first["wasted_executor_s"] > 0.0
+        assert (
+            first["makespan_s.outages"] >= first["makespan_s.healthy"]
+        )
+
+
+class TestChaosDeterminism:
+    def test_exhibit_is_reproducible(self):
+        from repro.workloads import chaos_exhibit
+
+        a = chaos_exhibit(n_requests=250, n_reads=200, n_jobs=6, seed=1)
+        b = chaos_exhibit(n_requests=250, n_reads=200, n_jobs=6, seed=1)
+        assert a == b
+
+    def test_policies_rejected_when_unknown(self):
+        from repro.errors import ModelError
+        from repro.workloads import run_memory_chaos, run_search_chaos
+
+        with pytest.raises(ModelError):
+            run_search_chaos("bogus", n_requests=10)
+        with pytest.raises(ModelError):
+            run_memory_chaos("bogus", n_reads=10)

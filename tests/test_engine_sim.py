@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Event, Interrupt, Simulator
+from repro.engine import Interrupt, Simulator
 from repro.errors import SimulationError
 
 

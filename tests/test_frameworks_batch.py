@@ -12,7 +12,12 @@ from repro.frameworks import (
 )
 from repro.cluster import uniform_cluster
 from repro.network import leaf_spine
-from repro.node import accelerated_server, arria10_fpga, commodity_server, nvidia_k80, xeon_e5
+from repro.node import (
+    accelerated_server,
+    arria10_fpga,
+    commodity_server,
+    xeon_e5,
+)
 
 
 def _cpu_cluster(hosts_per_leaf=2):

@@ -17,7 +17,7 @@ from repro.frameworks import (
     shuffle_time_s,
 )
 from repro.analytics import default_blocks
-from repro.network import fat_tree, leaf_spine
+from repro.network import fat_tree
 from repro.node import accelerated_server, arria10_fpga, nvidia_k80, xeon_e5
 
 

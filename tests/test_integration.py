@@ -34,18 +34,12 @@ from repro.node import (
     arria10_fpga,
     commodity_server,
     nvidia_k80,
-    speedup as roofline_speedup,
-    Kernel,
     xeon_e5,
 )
-from repro.reporting import render_records, render_table
+from repro.reporting import render_records
 from repro.scheduler import HeterogeneousScheduler, executors_from_cluster, fork_join_job
 from repro.survey import generate_corpus
-from repro.workloads import (
-    run_suite,
-    tail_latency_reduction,
-    zipf_documents,
-)
+from repro.workloads import run_suite, tail_latency_reduction
 
 
 class TestSurveyToPortfolio:

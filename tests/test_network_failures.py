@@ -106,6 +106,40 @@ class TestProgressiveFailures:
         with pytest.raises(TopologyError):
             progressive_link_failures(fat_tree(4), 0)
 
+    def test_candidate_pool_exhaustion_is_flagged(self):
+        # A single-leaf fabric has only its 2 uplinks as core links and
+        # its hosts stay connected through the leaf regardless, so a
+        # 50-step request runs the pool dry: 2 steps, then a silent
+        # truncation before the profile learned to say so.
+        profile = progressive_link_failures(
+            leaf_spine(2, 1, 4), n_steps=50, links_per_step=1
+        )
+        assert profile.exhausted
+        assert profile[-1].connected
+        assert len(profile) == 3  # baseline + one point per fallen link
+
+    def test_partial_final_batch_is_flagged(self):
+        # 2 core links cannot fill even one 3-link batch.
+        profile = progressive_link_failures(
+            leaf_spine(2, 1, 4), n_steps=1, links_per_step=3
+        )
+        assert profile.exhausted
+        assert profile[-1].failures == 2
+
+    def test_ample_pool_is_not_flagged(self):
+        profile = progressive_link_failures(
+            fat_tree(6), n_steps=3, links_per_step=1, seed=11
+        )
+        assert not profile.exhausted
+        assert len(profile) == 4
+
+    def test_profile_still_behaves_as_a_list(self):
+        profile = progressive_link_failures(fat_tree(4), 3, seed=9)
+        assert profile[0].failures == 0
+        assert [p.failures for p in profile] == sorted(
+            p.failures for p in profile
+        )
+
 
 class TestSwitchFailureImpact:
     def test_leaf_spine_spine_loss_fraction(self):
@@ -127,3 +161,17 @@ class TestSwitchFailureImpact:
     def test_fat_tree_core_loss_is_gentle(self):
         impact = single_switch_failure_impact(fat_tree(4))
         assert impact["core"] >= 0.7
+
+    def test_matches_naive_reference_implementation(self):
+        # The optimized analysis (contract once, reuse the baseline
+        # flow, articulation-point connectivity) must agree with the
+        # frozen copy-and-recompute reference on every fabric shape.
+        from repro._perfref import reference_single_switch_failure_impact
+
+        for fabric in (leaf_spine(4, 2, 16), leaf_spine(4, 2, 4),
+                       leaf_spine(1, 2, 2), fat_tree(4)):
+            fast = single_switch_failure_impact(fabric)
+            naive = reference_single_switch_failure_impact(fabric)
+            assert set(fast) == set(naive)
+            for role in fast:
+                assert fast[role] == pytest.approx(naive[role], rel=1e-9)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.errors import ModelError
 from repro.node import (
     ComputeDevice,

@@ -7,7 +7,6 @@ from repro.errors import ModelError
 from repro.node import (
     AbstractionMatrix,
     MemoryHierarchy,
-    MemoryLevel,
     NIC_CATALOG,
     PortingStrategy,
     ProgrammingModel,
@@ -23,7 +22,6 @@ from repro.node import (
     nvidia_k80,
     port_effort_person_months,
     ssd,
-    truenorth_neuro,
     xeon_e5,
 )
 

@@ -29,7 +29,9 @@ EXPECTED_BENCHES = {
         "event_churn", "timeout_churn", "resource_contention",
         "e2_end_to_end",
     },
-    "network": {"flow_solver_500", "flow_solver_scaling"},
+    "network": {
+        "flow_solver_500", "flow_solver_scaling", "switch_failure_impact",
+    },
 }
 
 

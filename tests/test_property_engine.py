@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for the simulation kernel and
 randomness/metrics utilities."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -21,9 +21,7 @@ from repro.network import (
     assign_paths_least_loaded,
     fat_tree,
     leaf_spine,
-    load_imbalance,
 )
-from repro.network.routing import path_links
 from repro.node import commodity_server, xeon_e5
 
 _CLUSTER = uniform_cluster(

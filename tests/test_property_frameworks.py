@@ -2,7 +2,7 @@
 kernels and the schedulers."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analytics import (

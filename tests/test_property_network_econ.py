@@ -1,8 +1,7 @@
 """Property-based tests for network bandwidth sharing and economic models."""
 
-import math
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BassModel, LogisticModel

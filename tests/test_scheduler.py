@@ -8,7 +8,6 @@ from repro.network import leaf_spine
 from repro.node import (
     accelerated_server,
     arria10_fpga,
-    commodity_server,
     inference_asic,
     nvidia_k80,
     xeon_e5,
