@@ -4,9 +4,9 @@
 Equivalent to ``python -m repro perf``; kept under ``benchmarks/`` so the
 suite is discoverable next to the experiment benches. Runs each
 microbench on the production kernel and on the frozen pre-fast-path
-reference kernel, writes ``BENCH_engine.json`` / ``BENCH_network.json``,
-and with ``--check benchmarks/baselines`` fails on regression against
-the committed baselines.
+reference kernel, writes ``BENCH_engine.json`` / ``BENCH_models.json`` /
+``BENCH_network.json``, and with ``--check benchmarks/baselines`` fails
+on regression against the committed baselines.
 """
 
 import pathlib

@@ -41,6 +41,8 @@ The full surface lives in the subpackages:
 - :mod:`repro.survey` -- stakeholder interview corpus and analysis.
 - :mod:`repro.core` -- technology catalog, adoption forecasts,
   recommendations and portfolio prioritization.
+- :mod:`repro.mc` -- vectorized Monte-Carlo batch kernels for the
+  analytical models (pinned against :mod:`repro._modelref`).
 - :mod:`repro.ecosystem` -- actor/initiative graph and market analysis.
 - :mod:`repro.reporting` -- tables, the experiment registry, trace runs.
 - :mod:`repro.runner` -- the parallel experiment runner with caching.
@@ -48,6 +50,7 @@ The full surface lives in the subpackages:
 
 __version__ = "1.0.0"
 
+from repro import mc
 from repro.core import build_roadmap
 from repro.engine import (
     FaultInjector,
@@ -93,6 +96,7 @@ __all__ = [
     "generate_corpus",
     "get_experiment",
     "hedge",
+    "mc",
     "render_table",
     "retry",
     "run_experiment",

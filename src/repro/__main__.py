@@ -14,8 +14,8 @@ Commands:
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
 - ``perf``         -- run the pinned perf microbenches (production
-  kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``
-  and ``BENCH_network.json``.
+  kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``,
+  ``BENCH_models.json`` and ``BENCH_network.json``.
 
 The ``run``, ``trace`` and ``perf`` commands share argument
 conventions: experiments resolve through the registry (so misspelled
@@ -43,7 +43,7 @@ def _cmd_summary() -> int:
     packages = (
         "engine", "econ", "network", "node", "cluster", "frameworks",
         "scheduler", "analytics", "workloads", "survey", "core",
-        "ecosystem", "reporting", "runner",
+        "ecosystem", "mc", "reporting", "runner",
     )
     print(f"subpackages ({len(packages)}): {', '.join(packages)}")
     print(f"experiments: {len(EXPERIMENTS)} "

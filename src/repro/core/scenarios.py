@@ -15,10 +15,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.adoption import BassModel, TrlSchedule
 from repro.core.technology import TECHNOLOGY_CATALOG, Technology
-from repro.engine.randomness import RandomStream
 from repro.errors import ModelError
+from repro.mc.scenarios import commodity_year_samples
 
 
 @dataclass(frozen=True)
@@ -49,22 +48,20 @@ def monte_carlo_commodity_year(
     catalog's ``risk``); the Bass imitation coefficient is jittered
     likewise. Higher-risk technologies therefore show wider forecast
     bands -- neuromorphic's band should dwarf 10/40GbE's.
+
+    All samples are drawn as two generator batches (every pace, then
+    every imitation coefficient) and evaluated in one vectorized pass
+    by :func:`repro.mc.commodity_year_samples`.
     """
-    if n_samples < 10:
-        raise ModelError("need at least 10 samples")
-    rng = RandomStream(seed, technology.name)
-    sigma = 0.05 + 0.5 * technology.risk
-    years = np.empty(n_samples)
-    for i in range(n_samples):
-        pace = rng.lognormal(2.0, sigma)
-        schedule = TrlSchedule(
-            base_years_per_level=pace,
-            acceleration=investment_acceleration,
-        )
-        intro = schedule.maturity_year(technology.trl_2016, start_year)
-        q = max(0.05, rng.normal(0.4, 0.1 * (1 + technology.risk)))
-        adoption = BassModel(p=0.02, q=q)
-        years[i] = intro + adoption.years_to_fraction(0.3)
+    years = commodity_year_samples(
+        technology.trl_2016,
+        technology.risk,
+        investment_acceleration=investment_acceleration,
+        n_samples=n_samples,
+        seed=seed,
+        start_year=start_year,
+        stream_name=technology.name,
+    )
     return ForecastDistribution(
         technology=technology.name,
         p10=float(np.percentile(years, 10)),

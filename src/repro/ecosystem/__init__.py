@@ -29,6 +29,7 @@ from repro.ecosystem.market import (
     MARKETS_2016,
     MarketShare,
     concentration_report,
+    concentration_scenarios,
     lock_in_premium,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "REQUIRED_CAPABILITIES",
     "ScopeArea",
     "concentration_report",
+    "concentration_scenarios",
     "consortium_balance",
     "consortium_coverage",
     "coordination_neighbours",

@@ -1,0 +1,93 @@
+"""Vectorized market-concentration and Bass-adoption kernels.
+
+Batch twins of the E13 market models: row-wise HHI over sampled share
+matrices, lognormal share jitter with renormalization, and Bass
+cumulative-adoption paths over a (sample, time) grid. Each kernel folds
+in the same order as its frozen scalar reference in
+:mod:`repro._modelref`, so equality is bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.randomness import RandomStream
+from repro.errors import ModelError
+
+__all__ = [
+    "bass_adoption_paths",
+    "hhi_batch",
+    "sampled_market_shares",
+]
+
+
+def hhi_batch(shares: np.ndarray) -> np.ndarray:
+    """Herfindahl-Hirschman index of every row of a share matrix.
+
+    ``shares`` is ``(n_samples, n_vendors)``; the result is ``(n,)`` on
+    the 0-10,000 scale. Accumulates vendor terms left to right (a
+    column fold), matching the scalar per-row sum.
+    """
+    shares = np.asarray(shares, dtype=float)
+    if shares.ndim != 2:
+        raise ModelError("shares must be a (n_samples, n_vendors) matrix")
+    total = np.zeros(shares.shape[0])
+    for j in range(shares.shape[1]):
+        scaled = shares[:, j] * 100.0
+        total = total + scaled * scaled
+    return total
+
+
+def sampled_market_shares(
+    shares: Sequence[float],
+    sigma: float,
+    n_samples: int,
+    seed: int,
+) -> np.ndarray:
+    """Lognormal share jitter with per-row renormalization, batched.
+
+    One ``(n_samples, n_vendors)`` lognormal draw (row-major, matching
+    ``n * k`` successive scalar draws), then each row is renormalized to
+    sum to 1 with a left-to-right vendor fold.
+    """
+    if n_samples < 1:
+        raise ModelError(f"need at least one sample, got {n_samples}")
+    if sigma < 0:
+        raise ModelError(f"sigma must be non-negative, got {sigma}")
+    if not shares:
+        raise ModelError("need at least one vendor share")
+    rng = RandomStream(seed, "mc.market")
+    k = len(shares)
+    jitter = rng.numpy.lognormal(0.0, sigma, size=(n_samples, k))
+    scaled = np.empty((n_samples, k))
+    for j in range(k):
+        scaled[:, j] = shares[j] * jitter[:, j]
+    total = np.zeros(n_samples)
+    for j in range(k):
+        total = total + scaled[:, j]
+    return scaled / total[:, None]
+
+
+def bass_adoption_paths(
+    p: float, q_values: np.ndarray, t_grid: np.ndarray
+) -> np.ndarray:
+    """Bass cumulative-fraction paths for many imitation coefficients.
+
+    Returns ``(len(q_values), len(t_grid))``; negative times clamp to
+    zero adoption, as ``BassModel.cumulative_fraction`` does.
+    """
+    if p <= 0:
+        raise ModelError("Bass p must be positive")
+    q_values = np.asarray(q_values, dtype=float)
+    t_grid = np.asarray(t_grid, dtype=float)
+    if np.any(q_values < 0):
+        raise ModelError("Bass q must be non-negative")
+    q = q_values[:, None]
+    t = t_grid[None, :]
+    # Evaluate at max(t, 0) so large negative times cannot overflow the
+    # exponential; those cells are then forced to exactly 0.0.
+    expo = np.exp(-(p + q) * np.maximum(t, 0.0))
+    fraction = (1.0 - expo) / (1.0 + (q / p) * expo)
+    return np.where(t < 0, 0.0, fraction)

@@ -1,0 +1,131 @@
+"""Vectorized SoC-vs-SiP cost kernels.
+
+Batch twins of the E5 economics: the volume sweep computes the
+volume-independent unit costs and NRE totals *once* and amortizes over
+the whole volume grid in one pass (the scalar
+``ChipDesign.cost_per_unit_at_volume`` loop re-derived them at every
+point), and the Monte-Carlo unit-cost sampler evaluates the die-cost
+model for all area-jittered samples at once.
+
+Equivalence contract: the volume curve is bit-for-bit against both the
+frozen reference and the live ``cost_per_unit_at_volume``. The sampled
+unit costs agree with
+:func:`repro._modelref.reference_sampled_unit_costs` to 1 ulp (relative
+~1e-15): numpy's vectorized ``**`` uses a SIMD pow whose last bit can
+differ from the scalar libm pow in the negative-binomial yield term.
+The equivalence tests pin this at 1e-12 relative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.econ.silicon import WAFER_DIAMETER_MM
+from repro.engine.randomness import RandomStream
+from repro.errors import ModelError
+
+__all__ = ["cost_per_unit_curve", "die_cost_batch", "sampled_unit_costs"]
+
+
+def die_cost_batch(
+    die_area_mm2: np.ndarray,
+    wafer_cost_usd: float,
+    defect_density_per_cm2: float,
+    alpha: float = 3.0,
+) -> np.ndarray:
+    """Cost of one good die for a whole vector of die areas.
+
+    Negative-binomial yield on gross dies per wafer, with the scalar
+    model's truncation (``max(0, int(count))``) applied elementwise.
+    """
+    area = np.asarray(die_area_mm2, dtype=float)
+    if np.any(area <= 0):
+        raise ModelError("die area must be positive in every sample")
+    radius = WAFER_DIAMETER_MM / 2.0
+    wafer_area = math.pi * radius**2
+    edge_loss = math.pi * WAFER_DIAMETER_MM / np.sqrt(2.0 * area)
+    count = wafer_area / area - edge_loss
+    gross = np.maximum(0, count.astype(np.int64))
+    defects = defect_density_per_cm2 * area / 100.0
+    good_fraction = (1.0 + defects / alpha) ** -alpha
+    good = gross * good_fraction
+    if np.any(good < 1e-9):
+        raise ModelError("yield is effectively zero for some die sizes")
+    return wafer_cost_usd / good
+
+
+def _unit_costs_and_nre(design) -> Tuple[float, float, float, float]:
+    """(soc_unit, sip_unit, soc_nre, sip_nre), each computed once."""
+    soc_unit = design.soc_unit_cost_usd()
+    sip_unit = design.sip_unit_cost_usd()
+    return (
+        soc_unit,
+        sip_unit,
+        design.soc_nre().total_nre_usd(),
+        design.sip_nre().total_nre_usd(),
+    )
+
+
+def cost_per_unit_curve(
+    design, volumes: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All-in per-unit (SoC, SiP) costs across a lifetime-volume grid.
+
+    Returns two arrays aligned with ``volumes``. Equivalent to calling
+    ``design.cost_per_unit_at_volume`` per point, but the die-cost and
+    NRE aggregation runs once for the whole grid.
+    """
+    volumes = np.asarray(volumes, dtype=float)
+    if volumes.size == 0:
+        raise ModelError("need at least one volume point")
+    if np.any(volumes <= 0):
+        raise ModelError("volume must be positive at every grid point")
+    soc_unit, sip_unit, soc_nre, sip_nre = _unit_costs_and_nre(design)
+    return soc_unit + soc_nre / volumes, sip_unit + sip_nre / volumes
+
+
+def sampled_unit_costs(
+    design, area_sigma: float, n_samples: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Monte-Carlo (SoC, SiP) unit costs under subsystem-area jitter.
+
+    Draws one lognormal jitter matrix ``(n_samples, n_subsystems)``
+    (row-major, stream-equivalent to the scalar loop's successive
+    draws), then evaluates every sample's SoC die cost and SiP
+    die+packaging cost in vectorized passes with left-to-right
+    subsystem folds.
+    """
+    if n_samples < 1:
+        raise ModelError(f"need at least one sample, got {n_samples}")
+    if area_sigma < 0:
+        raise ModelError(f"area sigma must be non-negative, got {area_sigma}")
+    rng = RandomStream(seed, "mc.soc_sip")
+    subsystems = design.subsystems
+    n_subsystems = len(subsystems)
+    jitter = rng.numpy.lognormal(
+        0.0, area_sigma, size=(n_samples, n_subsystems)
+    )
+    leading = design.leading_node
+    total_area = np.zeros(n_samples)
+    die_total = np.zeros(n_samples)
+    for j, subsystem in enumerate(subsystems):
+        area_28 = subsystem.area_at_28nm_mm2 * jitter[:, j]
+        total_area = total_area + area_28 / leading.density_vs_28nm
+        node = leading if subsystem.needs_leading_edge else design.commodity_node
+        die_total = die_total + die_cost_batch(
+            area_28 / node.density_vs_28nm,
+            node.wafer_cost_usd,
+            node.defect_density_per_cm2,
+        )
+    soc = die_cost_batch(
+        total_area, leading.wafer_cost_usd, leading.defect_density_per_cm2
+    )
+    packaged = die_total + (
+        design.packaging.base_usd
+        + design.packaging.per_chiplet_usd * n_subsystems
+    )
+    sip = packaged / design.packaging.assembly_yield**n_subsystems
+    return soc, sip

@@ -1,0 +1,74 @@
+"""Batched interview-corpus statistics.
+
+The scalar analysis layer rescans the corpus once per theme (and, for
+cross-tabs, re-resolves each interview's company by linear search).
+This kernel builds one boolean theme-membership matrix and one role
+index, then answers every theme fraction and per-role cross-tab from
+integer column counts -- the same integer ratios, so results are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["theme_matrix", "theme_statistics"]
+
+
+def theme_matrix(
+    interview_themes: Sequence[Sequence[str]], themes: Sequence[str]
+) -> np.ndarray:
+    """Boolean ``(n_interviews, n_themes)`` membership matrix."""
+    if not themes:
+        raise ModelError("need at least one theme")
+    columns = {theme: j for j, theme in enumerate(themes)}
+    if len(columns) != len(themes):
+        raise ModelError("duplicate themes")
+    matrix = np.zeros((len(interview_themes), len(themes)), dtype=bool)
+    for i, coded in enumerate(interview_themes):
+        for theme in coded:
+            j = columns.get(theme)
+            if j is not None:
+                matrix[i, j] = True
+    return matrix
+
+
+def theme_statistics(
+    interview_themes: Sequence[Sequence[str]],
+    roles: Sequence[str],
+    themes: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Corpus fraction and per-role cross-tab for every theme at once.
+
+    Returns ``{theme: {"fraction": f, "fraction.<role>": f, ...}}`` with
+    roles in first-appearance order. All fractions are ratios of exact
+    integer counts, so they equal the scalar per-theme scans bit for
+    bit.
+    """
+    n = len(interview_themes)
+    if n == 0:
+        raise ModelError("empty corpus")
+    if len(roles) != n:
+        raise ModelError("one role per interview required")
+    matrix = theme_matrix(interview_themes, themes)
+    role_order: List[str] = []
+    role_rows: Dict[str, List[int]] = {}
+    for i, role in enumerate(roles):
+        if role not in role_rows:
+            role_order.append(role)
+            role_rows[role] = []
+        role_rows[role].append(i)
+    hits = matrix.sum(axis=0)
+    out: Dict[str, Dict[str, float]] = {}
+    for j, theme in enumerate(themes):
+        stats: Dict[str, float] = {"fraction": int(hits[j]) / n}
+        for role in role_order:
+            rows = role_rows[role]
+            stats[f"fraction.{role}"] = int(
+                matrix[rows, j].sum()
+            ) / len(rows)
+        out[theme] = stats
+    return out

@@ -2,10 +2,11 @@
 
 ``python -m repro perf`` runs every microbench twice per round -- once on
 the production kernel and once on the frozen pre-fast-path reference
-kernel (:mod:`repro._perfref`) -- in interleaved rounds, then reports the
-median wall time of each side and the speedup ratio. CI gates on the
-*ratios*, not on absolute times, so results are robust to machine
-differences.
+kernel (:mod:`repro._perfref` for the engine/network suites,
+:mod:`repro._modelref` for the model suite) -- in interleaved rounds,
+then reports the median wall time of each side and the speedup ratio. CI
+gates on the *ratios*, not on absolute times, so results are robust to
+machine differences.
 
 Benches
 -------
@@ -33,19 +34,40 @@ Benches
     Per-switch bisection-impact analysis of a host-heavy leaf-spine:
     the production contract-once/reuse-the-baseline-flow analysis vs
     the frozen copy-and-recompute-per-switch reference.
+``mc_commodity_year``
+    Sampled commodity-year scenarios (the E1/E16 Monte-Carlo shape):
+    one :func:`repro.mc.commodity_year_samples` batch vs the frozen
+    per-sample scalar loop.
+``roi_npv_sweep``
+    NPV over a sampled accelerator-parameter grid:
+    :func:`repro.mc.npv_batch` vs the per-sample cashflow/NPV loop.
+``soc_sip_unit_costs``
+    Monte-Carlo SoC/SiP unit costs under subsystem-area jitter on the
+    EUROSERVER reference design.
+``market_concentration``
+    Lognormally jittered vendor shares plus the HHI of every sample.
+``adoption_paths``
+    A (q-sample x time) grid of Bass cumulative-adoption fractions.
+``survey_theme_stats``
+    Corpus fraction + per-role cross-tab for every survey theme in one
+    batched pass over a replicated interview corpus.
 
 Every bench verifies that both kernels produce the same simulation
 results before any timing is reported (exactly for the engine benches,
 to 1e-9 relative for the flow benches, whose vectorized solver may order
-exact float ties differently).
+exact float ties differently). The model benches are bit-exact except
+``soc_sip_unit_costs``, where numpy's SIMD ``pow`` differs from scalar
+libm ``pow`` by 1 ULP in the yield term (see :mod:`repro.mc.soc_sip`).
 
-Outputs ``BENCH_engine.json`` and ``BENCH_network.json``; with
-``--check <dir>`` the run fails if any bench regresses more than 25%
-against the committed baseline or drops below its pinned ``min_speedup``
-floor. The headline benches carry a ``target_speedup`` (3x event churn,
-5x 500-flow solver) that the committed baseline demonstrates; the CI
-floor is the target minus the regression tolerance, so a genuine
-regression trips the gate but single-vCPU scheduler jitter does not.
+Outputs ``BENCH_engine.json``, ``BENCH_network.json`` and
+``BENCH_models.json``; with ``--check <dir>`` the run fails if any bench
+regresses more than 25% against the committed baseline or drops below
+its pinned ``min_speedup`` floor. The headline benches carry a
+``target_speedup`` (3x event churn, 5x 500-flow solver, 10x for the
+sampled-scenario model benches) that the committed baseline
+demonstrates; the CI floor is the target minus the regression tolerance,
+so a genuine regression trips the gate but single-vCPU scheduler jitter
+does not.
 """
 
 from __future__ import annotations
@@ -58,7 +80,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro import _perfref
+from repro import _modelref, _perfref
 from repro.errors import ModelError
 
 #: CI fails when a bench's speedup falls more than this far (fractional)
@@ -207,6 +229,81 @@ def _bench_switch_impact(impl, hosts_per_leaf: int) -> _BenchOutcome:
 
 
 # ---------------------------------------------------------------------------
+# Model-layer microbenches: repro.mc batch kernels vs the frozen scalar
+# references in repro._modelref. Workload setup (sampling inputs,
+# building the corpus) happens before the timer so both sides time only
+# the model evaluation.
+# ---------------------------------------------------------------------------
+
+
+def _bench_commodity_year(impl, n_samples: int, seed: int) -> _BenchOutcome:
+    start = time.perf_counter()
+    years = impl(4, 0.35, 1.5, n_samples, seed)
+    return time.perf_counter() - start, years.tobytes()
+
+
+def _bench_npv_sweep(sweep, n_samples: int, seed: int) -> _BenchOutcome:
+    from repro.econ.sensitivity import default_accelerator_ranges
+    from repro.mc import uniform_parameter_samples
+
+    params = uniform_parameter_samples(
+        default_accelerator_ranges(), n_samples, seed
+    )
+    start = time.perf_counter()
+    npv = sweep(params, n_samples)
+    return time.perf_counter() - start, npv.tobytes()
+
+
+def _bench_sampled_unit_costs(impl, n_samples: int, seed: int) -> _BenchOutcome:
+    from repro.econ.silicon import PROCESS_CATALOG
+    from repro.econ.soc_sip import euroserver_reference_design
+
+    design = euroserver_reference_design(
+        PROCESS_CATALOG["16nm"], PROCESS_CATALOG["28nm"]
+    )
+    start = time.perf_counter()
+    soc, sip = impl(design, 0.2, n_samples, seed)
+    elapsed = time.perf_counter() - start
+    return elapsed, tuple(map(float, soc)) + tuple(map(float, sip))
+
+
+def _bench_market_concentration(
+    sample_impl, hhi_impl, n_samples: int, seed: int
+) -> _BenchOutcome:
+    shares = [0.55, 0.12, 0.10, 0.08, 0.15]  # the datacenter-switch market
+    start = time.perf_counter()
+    sampled = sample_impl(shares, 0.3, n_samples, seed)
+    hhi = hhi_impl(sampled)
+    elapsed = time.perf_counter() - start
+    return elapsed, sampled.tobytes() + hhi.tobytes()
+
+
+def _bench_adoption_paths(impl, n_q: int, n_t: int, seed: int) -> _BenchOutcome:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    q_values = rng.uniform(0.2, 0.8, size=n_q)
+    t_grid = np.linspace(-2.0, 25.0, n_t)
+    start = time.perf_counter()
+    paths = impl(0.03, q_values, t_grid)
+    return time.perf_counter() - start, paths.tobytes()
+
+
+def _bench_theme_statistics(impl, replication: int) -> _BenchOutcome:
+    from repro.survey import ALL_THEMES, generate_corpus
+
+    corpus = generate_corpus()
+    role_by_company = {c.company_id: c.role.value for c in corpus.companies}
+    themes = [i.themes for i in corpus.interviews] * replication
+    roles = [
+        role_by_company[i.company_id] for i in corpus.interviews
+    ] * replication
+    start = time.perf_counter()
+    stats = impl(themes, roles, list(ALL_THEMES))
+    return time.perf_counter() - start, stats
+
+
+# ---------------------------------------------------------------------------
 # Harness.
 # ---------------------------------------------------------------------------
 
@@ -287,10 +384,20 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     """The pinned bench set; ``quick`` shrinks workloads ~10x for tests.
 
     ``seed`` follows the runner convention: added to each flow bench's
-    legacy base seed (7 / 11), with 0 reproducing historical runs.
+    legacy base seed (7 / 11) and to each model bench's base seed, with
+    0 reproducing historical runs.
     """
     from repro.engine.resources import Resource
     from repro.engine.sim import Simulator
+    from repro.mc import (
+        bass_adoption_paths,
+        commodity_year_samples,
+        hhi_batch,
+        npv_batch,
+        sampled_market_shares,
+        sampled_unit_costs,
+        theme_statistics,
+    )
     from repro.network.failures import single_switch_failure_impact
     from repro.network.flows import FlowSimulator
 
@@ -303,6 +410,13 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     n_shuffle = max(int(500 * scale), 50)
     n_random = max(int(150 * scale), 30)
     hosts_per_leaf = 4 if quick else 16
+    n_mc_years = max(int(200_000 * scale), 2_000)
+    n_mc_roi = max(int(40_000 * scale), 400)
+    n_mc_costs = max(int(6_000 * scale), 60)
+    n_mc_shares = max(int(60_000 * scale), 600)
+    n_mc_q = max(int(500 * scale), 50)
+    n_mc_t = max(int(300 * scale), 30)
+    corpus_reps = max(int(100 * scale), 2)
 
     return [
         BenchSpec(
@@ -401,6 +515,102 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
                 lambda: _random_flows(n_random, seed=11 + seed),
             ),
             exact=False,
+        ),
+        BenchSpec(
+            name="mc_commodity_year",
+            suite="models",
+            description=(
+                f"{n_mc_years} sampled commodity-year scenarios "
+                "(TRL 4, risk 0.35, 1.5x acceleration)"
+            ),
+            candidate=lambda: _bench_commodity_year(
+                commodity_year_samples, n_mc_years, 29 + seed
+            ),
+            reference=lambda: _bench_commodity_year(
+                _modelref.reference_commodity_year_samples,
+                n_mc_years,
+                29 + seed,
+            ),
+            target_speedup=None if quick else 10.0,
+        ),
+        BenchSpec(
+            name="roi_npv_sweep",
+            suite="models",
+            description=(
+                f"NPV over {n_mc_roi} sampled accelerator parameter "
+                "vectors (the Finding-2 uncertainty set)"
+            ),
+            candidate=lambda: _bench_npv_sweep(
+                lambda params, _n: npv_batch(params), n_mc_roi, seed
+            ),
+            reference=lambda: _bench_npv_sweep(
+                lambda params, n: _modelref.reference_npv_sweep(
+                    params, n, 3
+                ),
+                n_mc_roi,
+                seed,
+            ),
+            target_speedup=None if quick else 10.0,
+        ),
+        BenchSpec(
+            name="soc_sip_unit_costs",
+            suite="models",
+            description=(
+                f"{n_mc_costs} Monte-Carlo SoC/SiP unit costs on the "
+                "EUROSERVER design (sigma 0.2 area jitter)"
+            ),
+            candidate=lambda: _bench_sampled_unit_costs(
+                sampled_unit_costs, n_mc_costs, seed
+            ),
+            reference=lambda: _bench_sampled_unit_costs(
+                _modelref.reference_sampled_unit_costs, n_mc_costs, seed
+            ),
+            exact=False,  # 1-ULP SIMD-vs-libm pow; see repro.mc.soc_sip
+        ),
+        BenchSpec(
+            name="market_concentration",
+            suite="models",
+            description=(
+                f"{n_mc_shares} jittered share vectors + HHI for the "
+                "datacenter-switch market"
+            ),
+            candidate=lambda: _bench_market_concentration(
+                sampled_market_shares, hhi_batch, n_mc_shares, seed
+            ),
+            reference=lambda: _bench_market_concentration(
+                _modelref.reference_sampled_market_shares,
+                _modelref.reference_hhi,
+                n_mc_shares,
+                seed,
+            ),
+        ),
+        BenchSpec(
+            name="adoption_paths",
+            suite="models",
+            description=(
+                f"{n_mc_q} x {n_mc_t} Bass cumulative-adoption grid "
+                "(sampled q, p=0.03)"
+            ),
+            candidate=lambda: _bench_adoption_paths(
+                bass_adoption_paths, n_mc_q, n_mc_t, 13 + seed
+            ),
+            reference=lambda: _bench_adoption_paths(
+                _modelref.reference_adoption_paths, n_mc_q, n_mc_t, 13 + seed
+            ),
+        ),
+        BenchSpec(
+            name="survey_theme_stats",
+            suite="models",
+            description=(
+                f"all-theme fraction + role cross-tab over a "
+                f"{corpus_reps}x-replicated interview corpus"
+            ),
+            candidate=lambda: _bench_theme_statistics(
+                theme_statistics, corpus_reps
+            ),
+            reference=lambda: _bench_theme_statistics(
+                _modelref.reference_theme_statistics, corpus_reps
+            ),
         ),
     ]
 

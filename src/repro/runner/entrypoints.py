@@ -180,6 +180,7 @@ def run_e4(config: Mapping[str, Any], seed: int) -> RunResult:
         breakeven_speedup,
         breakeven_utilization,
     )
+    from repro.mc import npv_utilization_sweep
 
     cfg = _merge(
         {
@@ -204,10 +205,13 @@ def run_e4(config: Mapping[str, Any], seed: int) -> RunResult:
         horizon_years=cfg["horizon_years"],
     )
     metrics: Dict[str, Any] = {}
-    for utilization in (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9):
-        metrics[f"npv_usd.{utilization:g}"] = replace(
-            investment, utilization=utilization
-        ).npv_usd()
+    utilizations = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+    # One batch NPV call; bit-for-bit equal to the scalar per-point
+    # sweep, so cached results.json is unchanged.
+    for utilization, value in zip(
+        utilizations, npv_utilization_sweep(investment, utilizations)
+    ):
+        metrics[f"npv_usd.{utilization:g}"] = float(value)
     breakeven = breakeven_utilization(investment)
     metrics["breakeven_utilization"] = breakeven
     for utilization in (0.15, 0.3, 0.6):
@@ -221,6 +225,7 @@ def run_e4(config: Mapping[str, Any], seed: int) -> RunResult:
 def run_e5(config: Mapping[str, Any], seed: int) -> RunResult:
     """E5: SoC-vs-SiP unit cost, crossover volume, upgrade cost (analytic)."""
     from repro.econ import PROCESS_CATALOG, euroserver_reference_design
+    from repro.mc import cost_per_unit_curve
 
     cfg = _merge({"advanced_node": "16nm", "mature_node": "28nm"}, config)
     design = euroserver_reference_design(
@@ -228,10 +233,13 @@ def run_e5(config: Mapping[str, Any], seed: int) -> RunResult:
         PROCESS_CATALOG[cfg["mature_node"]],
     )
     metrics: Dict[str, Any] = {}
-    for volume in (1e4, 1e5, 1e6, 1e7, 1e8):
-        costs = design.cost_per_unit_at_volume(volume)
-        metrics[f"usd_per_unit.soc.{volume:.0e}"] = costs["soc"]
-        metrics[f"usd_per_unit.sip.{volume:.0e}"] = costs["sip"]
+    volumes = (1e4, 1e5, 1e6, 1e7, 1e8)
+    # One vectorized sweep (unit costs and NRE aggregated once);
+    # bit-for-bit equal to per-volume cost_per_unit_at_volume calls.
+    soc_curve, sip_curve = cost_per_unit_curve(design, volumes)
+    for volume, soc, sip in zip(volumes, soc_curve, sip_curve):
+        metrics[f"usd_per_unit.soc.{volume:.0e}"] = float(soc)
+        metrics[f"usd_per_unit.sip.{volume:.0e}"] = float(sip)
     metrics["crossover_volume"] = design.crossover_volume()
     upgrade = design.interface_upgrade_cost_usd("network-io")
     metrics["upgrade_usd.soc"] = upgrade["soc"]

@@ -6,6 +6,7 @@ support the roadmap's four Key Findings.
 
 from repro.survey.analysis import (
     Finding,
+    corpus_theme_statistics,
     cross_tab,
     finding_1_value_focus,
     finding_2_roi_skepticism,
@@ -64,6 +65,7 @@ __all__ = [
     "THEME_WAIT_FOR_COMMODITY",
     "THEME_WANTS_BENCHMARKS",
     "corpus_from_dict",
+    "corpus_theme_statistics",
     "corpus_to_dict",
     "cross_tab",
     "finding_1_value_focus",

@@ -34,6 +34,33 @@ class Finding:
     holds: bool
 
 
+def _interview_roles(corpus: Corpus) -> List[str]:
+    """Each interview's company role, resolved through one id index."""
+    role_by_company = {c.company_id: c.role.value for c in corpus.companies}
+    return [role_by_company[i.company_id] for i in corpus.interviews]
+
+
+def corpus_theme_statistics(
+    corpus: Corpus, themes: List[str]
+) -> Dict[str, Dict[str, float]]:
+    """Corpus fraction plus per-role cross-tab for many themes at once.
+
+    One batched pass (:func:`repro.mc.theme_statistics`) instead of a
+    corpus rescan per theme; returns
+    ``{theme: {"fraction": f, "fraction.<role>": f, ...}}`` with exactly
+    the values :func:`theme_fraction` / :func:`cross_tab` produce.
+    """
+    if not corpus.interviews:
+        raise ModelError("empty corpus")
+    from repro.mc import theme_statistics
+
+    return theme_statistics(
+        [i.themes for i in corpus.interviews],
+        _interview_roles(corpus),
+        themes,
+    )
+
+
 def theme_fraction(corpus: Corpus, theme: str) -> float:
     """Fraction of interviews expressing ``theme``."""
     if not corpus.interviews:
@@ -51,16 +78,20 @@ def sector_mix(corpus: Corpus) -> Dict[str, int]:
 
 
 def cross_tab(corpus: Corpus, theme: str) -> Dict[str, float]:
-    """Per-role fraction of interviews expressing ``theme``."""
-    totals: Dict[str, int] = {}
-    hits: Dict[str, int] = {}
-    for interview in corpus.interviews:
-        role = corpus.company(interview.company_id).role.value
-        totals[role] = totals.get(role, 0) + 1
-        if interview.expresses(theme):
-            hits[role] = hits.get(role, 0) + 1
+    """Per-role fraction of interviews expressing ``theme``.
+
+    Delegates to the batched statistics kernel (one role index instead
+    of a per-interview linear company scan); roles appear in
+    first-interview order, as the scalar scan produced.
+    """
+    if not corpus.interviews:
+        raise ModelError("empty corpus")
+    stats = corpus_theme_statistics(corpus, [theme])[theme]
+    prefix = "fraction."
     return {
-        role: hits.get(role, 0) / count for role, count in totals.items()
+        key[len(prefix):]: value
+        for key, value in stats.items()
+        if key.startswith(prefix)
     }
 
 

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.survey",
     "repro.core",
     "repro.ecosystem",
+    "repro.mc",
     "repro.reporting",
     "repro.runner",
 ]

@@ -248,6 +248,37 @@ class TestSensitivity:
         with pytest.raises(ModelError):
             SensitivityRange("speedup", 10.0, 2.0)
 
+    def test_empty_ranges_rejected_with_clear_message(self):
+        with pytest.raises(ModelError, match="at least one parameter"):
+            tornado(self._investment(), [])
+
+    def test_degenerate_range_yields_zero_swing_bar(self):
+        bars = tornado(self._investment(),
+                       [SensitivityRange("speedup", 4.0, 4.0)])
+        assert len(bars) == 1
+        assert bars[0].swing == 0.0
+        assert bars[0].output_at_low == bars[0].output_at_high
+
+    def test_equal_swings_tie_break_by_parameter_name(self):
+        # Two degenerate ranges swing exactly 0.0 each; order must be
+        # deterministic (alphabetical), not dict/input order.
+        bars = tornado(self._investment(), [
+            SensitivityRange("utilization", 0.4, 0.4),
+            SensitivityRange("speedup", 4.0, 4.0),
+        ])
+        assert [b.parameter for b in bars] == ["speedup", "utilization"]
+
+    def test_batch_fast_path_matches_scalar_metric(self):
+        investment = self._investment()
+        ranges = default_accelerator_ranges()
+        fast = tornado(investment, ranges)
+        slow = tornado(investment, ranges, metric=lambda inv: inv.npv_usd())
+        assert [
+            (b.parameter, b.output_at_low, b.output_at_high) for b in fast
+        ] == [
+            (b.parameter, b.output_at_low, b.output_at_high) for b in slow
+        ]
+
 
 class TestScenarios:
     def test_risk_widens_forecast_bands(self):

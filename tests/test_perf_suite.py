@@ -32,6 +32,10 @@ EXPECTED_BENCHES = {
     "network": {
         "flow_solver_500", "flow_solver_scaling", "switch_failure_impact",
     },
+    "models": {
+        "mc_commodity_year", "roi_npv_sweep", "soc_sip_unit_costs",
+        "market_concentration", "adoption_paths", "survey_theme_stats",
+    },
 }
 
 
@@ -67,6 +71,8 @@ class TestSuiteSchema:
         }
         assert targets["event_churn"] == 3.0
         assert targets["flow_solver_500"] == 5.0
+        assert targets["mc_commodity_year"] == 10.0
+        assert targets["roi_npv_sweep"] == 10.0
 
     def test_rejects_bad_rounds(self):
         with pytest.raises(ModelError):
@@ -83,7 +89,7 @@ class TestWriteAndCheck:
     def test_write_results_paths(self, quick_suites, tmp_path):
         paths = write_results(quick_suites, tmp_path)
         assert [p.name for p in paths] == [
-            "BENCH_engine.json", "BENCH_network.json",
+            "BENCH_engine.json", "BENCH_models.json", "BENCH_network.json",
         ]
         loaded = json.loads(paths[0].read_text())
         assert loaded["suite"] == "engine"
