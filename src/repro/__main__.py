@@ -15,13 +15,15 @@ Commands:
   metrics report and write ``trace.jsonl``.
 - ``perf``         -- run the pinned perf microbenches (production
   kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``,
-  ``BENCH_models.json`` and ``BENCH_network.json``.
+  ``BENCH_models.json`` and ``BENCH_network.json``. Positional suite
+  ids (``engine``, ``models``, ``network``) restrict the run; an
+  unknown id is an error listing the valid set, like ``trace``.
 
 The ``run``, ``trace`` and ``perf`` commands share argument
-conventions: experiments resolve through the registry (so misspelled
-ids list the valid set), artifacts land in ``--out-dir`` (default: the
-working directory) and randomness is controlled by ``--seed`` /
-``--seeds``. ``trace --out PATH`` remains as a deprecated alias for
+conventions: experiments and suites resolve through a registry (so
+misspelled ids list the valid set), artifacts land in ``--out-dir``
+(default: the working directory) and randomness is controlled by
+``--seed`` / ``--seeds``. ``trace --out PATH`` remains as a deprecated alias for
 one release.
 """
 

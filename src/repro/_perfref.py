@@ -507,3 +507,31 @@ class ReferenceFlowSimulator:
                     del active[fid]
                     del remaining[fid]
         return flows
+
+
+def reference_fault_schedule_rates(
+    fabric: Fabric, flows: List[Any], schedule: List[Tuple[str, Tuple]]
+) -> List[Dict[int, float]]:
+    """Pre-change fault handling: full reroute + full re-solve per event.
+
+    ``schedule`` is a list of ``(method_name, args)`` fabric mutations
+    (``fail_link``, ``restore_link``, ``fail_node``, ``restore_node``).
+    After *every* mutation this reassigns every flow's ECMP path over
+    the surviving topology and re-solves the whole fabric from scratch
+    -- exactly what the library did before the incremental solver, and
+    the allocation sequence that solver must reproduce bit for bit.
+    Returns one ``{flow_id: rate}`` snapshot per schedule entry, plus
+    the initial allocation at index 0.
+    """
+    def resolve() -> Dict[int, float]:
+        for flow in flows:
+            flow.path = ecmp_path_for_flow(
+                fabric, flow.src, flow.dst, flow.flow_id
+            )
+        return reference_max_min_fair_rates(fabric, flows)
+
+    snapshots = [resolve()]
+    for method, args in schedule:
+        getattr(fabric, method)(*args)
+        snapshots.append(resolve())
+    return snapshots

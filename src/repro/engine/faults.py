@@ -158,6 +158,7 @@ class FaultInjector:
         self._root = RandomStream(self.seed, "faults")
         self._down: set = set()
         self._slow: dict = {}
+        self._open: List[Tuple[str, str, float]] = []
         self._listeners: List[Callable[[str, str, str, float], None]] = []
 
     # -- wiring ------------------------------------------------------------
@@ -212,11 +213,46 @@ class FaultInjector:
         """Number of faults currently in progress."""
         return len(self._down) + len(self._slow)
 
-    def outage_windows(self, kind: Optional[str] = None) -> List[FaultEvent]:
-        """Completed faults, optionally filtered to one ``kind``."""
-        if kind is None:
-            return list(self.events)
-        return [event for event in self.events if event.kind == kind]
+    def outage_windows(
+        self,
+        kind: Optional[str] = None,
+        include_active: bool = False,
+        until: Optional[float] = None,
+    ) -> List[FaultEvent]:
+        """Outage windows, optionally filtered to one ``kind``.
+
+        By default this returns completed faults only, as before. With
+        ``include_active`` outages still in progress are also reported,
+        *clamped* to ``until`` (default: the current simulation time)
+        instead of open-ended. ``until`` likewise clamps completed
+        windows, so querying "as of ``t``" is consistent whether a
+        repair landing exactly at ``t`` has already executed (it shows
+        as a completed window ending at ``t``) or is still pending (the
+        active window is clamped to the same ``[down, t]``); zero-length
+        windows starting at the horizon are dropped, never reported
+        open-ended.
+        """
+        windows = [
+            event for event in self.events
+            if kind is None or event.kind == kind
+        ]
+        if until is not None:
+            windows = [
+                event if event.up_s <= until
+                else FaultEvent(event.kind, event.target, event.down_s, until)
+                for event in windows
+                if event.down_s < until
+            ]
+        if include_active:
+            horizon = self.sim.now if until is None else until
+            for open_kind, label, down_at in self._open:
+                if kind is not None and open_kind != kind:
+                    continue
+                if down_at < horizon:
+                    windows.append(
+                        FaultEvent(open_kind, label, down_at, horizon)
+                    )
+        return windows
 
     # -- internals ---------------------------------------------------------
 
@@ -234,9 +270,12 @@ class FaultInjector:
             yield sim.timeout(gap)
             down_at = sim.now
             self._apply(spec, target)
+            open_entry = (spec.kind, label, down_at)
+            self._open.append(open_entry)
             self._count("injected", spec.kind)
             self._notify(spec.kind, label, "down")
             yield sim.timeout(rng.exponential(spec.mttr_s))
+            self._open.remove(open_entry)
             self._repair(spec, target)
             self._count("repaired", spec.kind)
             self._notify(spec.kind, label, "up")

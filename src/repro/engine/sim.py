@@ -13,19 +13,33 @@ The event loop is allocation-light. The three hot operations --
 per-event closures entirely:
 
 - :meth:`Simulator.timeout` creates a dedicated :class:`Timeout` event
-  and pushes it straight onto the heap; the run loop triggers it inline
-  instead of calling a scheduled lambda.
-- Heap entries are plain ``(when, seq, kind, a, b)`` tuples. ``kind``
-  selects the dispatch -- ``_KIND_CALL`` runs ``a()``, ``_KIND_TIMEOUT``
-  triggers the :class:`Timeout` ``a`` inline, ``_KIND_CALLBACK`` runs
-  ``a(b)`` (callback, event) -- so firing an event never allocates a
-  closure. ``seq`` is unique, so ordering is decided entirely by
-  ``(when, seq)`` and stays bit-for-bit identical to the original
-  lambda-based kernel.
+  and pushes it straight into the event calendar; the run loop triggers
+  it inline instead of calling a scheduled lambda.
+- Calendar entries are plain ``(when, seq, kind, a, b)`` tuples.
+  ``kind`` selects the dispatch -- ``_KIND_CALL`` runs ``a()``,
+  ``_KIND_TIMEOUT`` triggers the :class:`Timeout` ``a`` inline,
+  ``_KIND_CALLBACK`` runs ``a(b)`` (callback, event) -- so firing an
+  event never allocates a closure. ``seq`` is unique, so ordering is
+  decided entirely by ``(when, seq)`` and stays bit-for-bit identical
+  to the original lambda-based kernel.
 - Almost every event has exactly one waiter, so :class:`Event` keeps a
   single ``_callback`` slot that holds the callback directly and only
   spills into a list when a second callback registers (callbacks are
   callables, never lists, so ``type(c) is list`` discriminates).
+
+Pending events live in an *array-backed two-tier calendar* instead of a
+binary heap. ``_near`` is a sorted array consumed in place through a
+moving ``_head`` cursor; ``_far`` is an unsorted overflow array holding
+every entry at or beyond ``_horizon`` (the largest timestamp of the last
+sorted batch). The dominant DES pattern -- each completion scheduling
+the next timeout further in the future -- therefore costs one
+``list.append`` per schedule and one indexed read per fire; when the
+sorted segment drains, the overflow (already nearly sorted, because
+virtual time only moves forward) is sorted once with Timsort and becomes
+the next segment. Same-time entries (callback flushes, spawns,
+interrupts) binary-insert into the sorted segment. Entries are totally
+ordered by the unique ``(when, seq)`` key, so the pop sequence -- and
+every golden trace -- is bit-for-bit identical to the heap-based kernel.
 
 Observability is opt-in: attach a
 :class:`~repro.engine.observability.Observability` (or pass it to the
@@ -49,9 +63,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from heapq import heappush as _heappush
+from bisect import insort as _insort
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import ProcessFailure, SimulationError
@@ -59,8 +72,10 @@ from repro.errors import ProcessFailure, SimulationError
 #: Type alias for simulation processes.
 Process = Generator["Event", Any, Any]
 
-#: Heap-entry dispatch kinds (position 2 of a queue entry). ``seq`` at
-#: position 1 is unique, so these never participate in heap ordering.
+_INF = float("inf")
+
+#: Calendar-entry dispatch kinds (position 2 of a queue entry). ``seq``
+#: at position 1 is unique, so these never participate in ordering.
 _KIND_CALL = 0  # a()
 _KIND_TIMEOUT = 1  # trigger Timeout a inline
 _KIND_CALLBACK = 2  # a(b)
@@ -123,9 +138,8 @@ class Event:
         """
         if self._triggered:
             sim = self.sim
-            _heappush(
-                sim._queue,
-                (sim._now, sim._seq_next(), _KIND_CALLBACK, callback, self),
+            sim._push(
+                (sim._now, sim._seq_next(), _KIND_CALLBACK, callback, self)
             )
             return
         current = self._callback
@@ -168,9 +182,9 @@ class Event:
     def _flush(self) -> None:
         """Schedule the registered callbacks at the current time.
 
-        Callbacks go through the heap (never run re-entrantly), in
-        registration order, each as a direct ``(callback, event)`` heap
-        entry -- no closure per callback.
+        Callbacks go through the calendar (never run re-entrantly), in
+        registration order, each as a direct ``(callback, event)``
+        calendar entry -- no closure per callback.
         """
         callback = self._callback
         if callback is None:
@@ -178,14 +192,13 @@ class Event:
         self._callback = None
         sim = self.sim
         now = sim._now
-        queue = sim._queue
+        push = sim._push
         seq_next = sim._seq_next
         if callback.__class__ is list:
             for cb in callback:
-                _heappush(queue, (now, seq_next(), _KIND_CALLBACK, cb, self))
+                push((now, seq_next(), _KIND_CALLBACK, cb, self))
         else:
-            _heappush(queue, (now, seq_next(), _KIND_CALLBACK, callback,
-                              self))
+            push((now, seq_next(), _KIND_CALLBACK, callback, self))
 
 
 class Timeout(Event):
@@ -346,10 +359,9 @@ class ProcessHandle(Event):
         if self._triggered:
             return
         sim = self.sim
-        _heappush(
-            sim._queue,
+        sim._push(
             (sim._now, sim._seq_next(), _KIND_CALLBACK,
-             self._deliver_interrupt, cause),
+             self._deliver_interrupt, cause)
         )
 
     def _deliver_interrupt(self, cause: Any) -> None:
@@ -445,7 +457,18 @@ class Simulator:
 
     def __init__(self, start: float = 0.0, observability: Any = None) -> None:
         self._now = float(start)
-        self._queue: list = []
+        # Array-backed two-tier event calendar. ``_near`` is sorted
+        # ascending by (when, seq) and consumed in place through the
+        # moving ``_head`` cursor; ``_far`` is unsorted overflow holding
+        # every entry with ``when >= _horizon``. ``_far_min`` tracks the
+        # smallest timestamp in ``_far`` (inf when empty) so peeking the
+        # next due time never scans. Both list objects keep their
+        # identity for the simulator's lifetime.
+        self._near: list = []
+        self._far: list = []
+        self._head = 0
+        self._horizon = -_INF
+        self._far_min = _INF
         self._sequence = itertools.count()
         # Bound ``__next__`` of the tie-break counter: one call, no
         # global ``next`` lookup, on every heap push.
@@ -483,19 +506,59 @@ class Simulator:
 
     # -- scheduling primitives -------------------------------------------
 
+    def _push(self, entry: tuple) -> None:
+        """Insert a calendar entry, preserving total (when, seq) order.
+
+        Entries at or beyond the horizon append to the unsorted overflow
+        (the dominant schedule-into-the-future pattern); earlier entries
+        binary-insert into the live sorted segment. Every new entry
+        compares greater than every already-consumed one (its ``seq`` is
+        larger and its ``when`` is not in the past), so the insertion
+        point always lands at or after the head cursor.
+        """
+        if entry[0] >= self._horizon:
+            self._far.append(entry)
+            if entry[0] < self._far_min:
+                self._far_min = entry[0]
+            return
+        near = self._near
+        _insort(near, entry)
+        head = self._head
+        if head > 4096 and head << 1 > len(near):
+            # A long same-timestamp chain can grow the consumed prefix
+            # without ever draining the segment; shear it off once it
+            # dominates so memory stays proportional to pending events.
+            del near[:head]
+            self._head = 0
+
+    def _refill(self) -> None:
+        """Sort the overflow into a fresh consumable segment.
+
+        Only called when the sorted segment is fully consumed and the
+        overflow is non-empty. Virtual time only moves forward, so the
+        overflow is typically appended in nearly ascending order --
+        exactly the input Timsort consumes in linear time.
+        """
+        near, far = self._near, self._far
+        far.sort()
+        near.clear()
+        near.extend(far)
+        far.clear()
+        self._head = 0
+        self._horizon = near[-1][0]
+        self._far_min = _INF
+
     def _schedule_at(self, when: float, call: Callable[[], None]) -> None:
         """Schedule a zero-argument callable at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < {self._now}"
             )
-        _heappush(self._queue,
-                  (when, self._seq_next(), _KIND_CALL, call, None))
+        self._push((when, self._seq_next(), _KIND_CALL, call, None))
 
     def _schedule_call(self, call: Callable[[], None]) -> None:
         """Schedule a zero-argument callable at the current time."""
-        _heappush(self._queue,
-                  (self._now, self._seq_next(), _KIND_CALL, call, None))
+        self._push((self._now, self._seq_next(), _KIND_CALL, call, None))
 
     # -- public API --------------------------------------------------------
 
@@ -506,9 +569,11 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` time units from now.
 
-        The returned :class:`Timeout` is pushed directly onto the event
-        heap; the run loop triggers it inline, so a timeout costs one
-        object and one heap entry -- no closure, no scheduled lambda.
+        The returned :class:`Timeout` is pushed directly into the event
+        calendar; the run loop triggers it inline, so a timeout costs
+        one object and one calendar entry -- no closure, no scheduled
+        lambda, and (in the dominant schedule-ahead case) one plain
+        ``list.append``.
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
@@ -523,19 +588,23 @@ class Simulator:
         # ``_cancelled`` is deliberately left unset: ``cancel()`` stores
         # it on demand and the ``cancelled`` property defaults to False,
         # saving one slot store on the hottest allocation in the kernel.
-        _heappush(
-            self._queue,
-            (self._now + delay, self._seq_next(), _KIND_TIMEOUT, evt, None),
-        )
+        when = self._now + delay
+        entry = (when, self._seq_next(), _KIND_TIMEOUT, evt, None)
+        if when >= self._horizon:
+            # Inline overflow append: the hottest push in the kernel.
+            self._far.append(entry)
+            if when < self._far_min:
+                self._far_min = when
+        else:
+            self._push(entry)
         return evt
 
     def spawn(self, generator: Process, name: str = "") -> ProcessHandle:
         """Start a new process and return its handle."""
         handle = ProcessHandle(self, generator, name)
-        _heappush(
-            self._queue,
+        self._push(
             (self._now, self._seq_next(), _KIND_CALLBACK,
-             handle._bound_step, None),
+             handle._bound_step, None)
         )
         return handle
 
@@ -619,25 +688,35 @@ class Simulator:
         in on exit (exact per-entry accounting is preserved whenever the
         hook is set).
         """
-        queue = self._queue
+        near = self._near  # stable identity; only contents mutate
+        far = self._far
         on_event = self.on_event  # read once; set hooks before run()
-        heappop = heapq.heappop
-        heappush = _heappush
         seq_next = self._seq_next
+        push = self._push
         popped = 0
         try:
             if on_event is None and until is None:
                 # Fast path: no horizon checks, no hook dispatch, local
-                # event counting.
-                while queue:
-                    entry = heappop(queue)
+                # event counting. The head cursor is re-read every
+                # iteration so nested run() calls (a callback that
+                # re-enters the loop) stay correct.
+                while True:
+                    head = self._head
+                    if head == len(near):
+                        if not far:
+                            break
+                        self._refill()
+                        head = 0
+                    entry = near[head]
+                    head += 1
+                    self._head = head
                     popped += 1
                     self._now = when = entry[0]
                     kind = entry[2]
                     if kind == 1:  # _KIND_TIMEOUT -- trigger inline
                         # Checked first: inline dispatch keeps most
-                        # callback entries off the heap, so timeout
-                        # entries dominate what actually pops here.
+                        # callback entries out of the calendar, so
+                        # timeout entries dominate what actually pops.
                         evt = entry[3]
                         if evt._triggered:
                             raise SimulationError("event already triggered")
@@ -648,30 +727,37 @@ class Simulator:
                             evt._callback = None
                             if callback.__class__ is list:
                                 for cb in callback:
-                                    heappush(queue, (when, seq_next(), 2,
-                                                     cb, evt))
-                            elif not queue or queue[0][0] > when:
-                                # No other entry is due at `when`, so the
-                                # callback entry we would push would pop
-                                # straight back off the heap. Dispatch it
-                                # directly -- relative sequence order (and
-                                # therefore every tie-break) is unchanged.
+                                    push((when, seq_next(), 2, cb, evt))
+                            elif (near[head][0] if head < len(near)
+                                  else self._far_min) > when:
+                                # No other entry is due at `when` (the
+                                # overflow minimum is inf when empty), so
+                                # the callback entry we would push would
+                                # pop straight back off. Dispatch it
+                                # directly -- relative sequence order
+                                # (and therefore every tie-break) is
+                                # unchanged.
                                 callback(evt)
                             else:
-                                heappush(queue, (when, seq_next(), 2,
-                                                 callback, evt))
+                                push((when, seq_next(), 2, callback, evt))
                     elif kind == 2:  # _KIND_CALLBACK: a(b)
                         entry[3](entry[4])
                     else:  # _KIND_CALL
                         entry[3]()
             else:
-                while queue:
-                    entry = queue[0]
+                while True:
+                    head = self._head
+                    if head == len(near):
+                        if not far:
+                            break
+                        self._refill()
+                        head = 0
+                    entry = near[head]
                     when = entry[0]
                     if until is not None and when > until:
                         self._now = until
                         return self._now
-                    heappop(queue)
+                    self._head = head + 1
                     self._now = when
                     self._event_count += 1
                     if on_event is not None:
@@ -689,11 +775,9 @@ class Simulator:
                             evt._callback = None
                             if callback.__class__ is list:
                                 for cb in callback:
-                                    heappush(queue, (when, seq_next(), 2,
-                                                     cb, evt))
+                                    push((when, seq_next(), 2, cb, evt))
                             else:
-                                heappush(queue, (when, seq_next(), 2,
-                                                 callback, evt))
+                                push((when, seq_next(), 2, callback, evt))
                     else:
                         entry[3]()
         finally:
@@ -706,4 +790,8 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled callback, or ``None`` if idle."""
-        return self._queue[0][0] if self._queue else None
+        if self._head < len(self._near):
+            return self._near[self._head][0]
+        if self._far:
+            return self._far_min
+        return None

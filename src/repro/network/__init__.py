@@ -19,6 +19,7 @@ from repro.network.failures import (
 from repro.network.flows import (
     Flow,
     FlowSimulator,
+    IncrementalMaxMinSolver,
     invalidate_link_capacity_cache,
     max_min_fair_rates,
     transfer_time_s,
@@ -99,6 +100,7 @@ __all__ = [
     "FlowRule",
     "FlowSimulator",
     "FlowTable",
+    "IncrementalMaxMinSolver",
     "LegacyManagement",
     "Link",
     "LinkGeneration",

@@ -13,17 +13,26 @@ of bulk transfers take", not per-packet detail. This module provides:
   per run, and flows enter/leave via boolean masks, so each re-solve is
   a handful of numpy operations instead of a Python scan over every
   link and flow.
+- :class:`IncrementalMaxMinSolver`: a persistent allocation over a
+  *faultable* fabric. Where the naive approach reroutes every flow and
+  re-solves the whole fabric each time a fault bumps
+  :attr:`Fabric.state_version`, this solver repairs only the pairs
+  whose ECMP path set the fault actually changed and re-solves only the
+  connected component of flows sharing links with the rerouted ones --
+  bit-for-bit equal to the full solve, because max-min components solve
+  independently with identical arithmetic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+import networkx as nx
 import numpy as np
 
 from repro.errors import TopologyError
-from repro.network.routing import ecmp_path_for_flow, path_links
+from repro.network.routing import ecmp_path_for_flow, ecmp_paths, path_links
 from repro.network.topology import Fabric
 
 
@@ -53,9 +62,19 @@ def _fabric_link_capacities(fabric: Fabric) -> Dict[Tuple[str, str], float]:
 
 
 def invalidate_link_capacity_cache(fabric: Fabric) -> None:
-    """Drop the cached link-capacity table after an in-place rate edit."""
+    """Drop capacity-derived caches after an in-place rate edit.
+
+    An in-place ``rate_gbps`` edit changes neither the edge count nor
+    the state version, so both the capacity table *and* the cached
+    active-graph survivor copy (whose edge data was copied at build
+    time) would silently keep the old rate. Both must go: rebuilding
+    the capacity table from a stale ``active_graph()`` copy would
+    reproduce exactly the stale-read window this call exists to close.
+    """
     if hasattr(fabric, "_repro_capacity_cache"):
         del fabric._repro_capacity_cache
+    if hasattr(fabric, "_active_cache"):
+        del fabric._active_cache
 
 
 @dataclass
@@ -132,6 +151,249 @@ def max_min_fair_rates(
                 if remaining_capacity[link] < 0:
                     remaining_capacity[link] = 0.0
     return rates
+
+
+class IncrementalMaxMinSolver:
+    """Max-min fair allocation repaired incrementally under fabric faults.
+
+    Holds a static flow set routed (ECMP) over a live
+    :class:`~repro.network.topology.Fabric` and keeps
+    :attr:`allocations` -- ``{flow_id: rate_bytes_per_s}`` -- equal,
+    bit for bit, to what a from-scratch reroute-everything +
+    :func:`max_min_fair_rates` solve would produce after every fault.
+
+    Mutate the fabric *through the solver* (:meth:`fail_link`,
+    :meth:`restore_link`, :meth:`fail_node`, :meth:`restore_node`): the
+    solver applies the fabric mutation, then repairs only the pairs
+    whose ECMP path set actually changed and re-solves only the flows
+    sharing links (transitively) with the rerouted ones. Equality with
+    the full solve rests on two invariants:
+
+    - a flow's ECMP path set changes only if the failed element lies on
+      one of its equal-cost paths (failing: removal cannot create
+      shortest paths) or the restored link offers a path no longer than
+      the current shortest (restoring: any new shortest path must cross
+      the new link);
+    - progressive filling decomposes over connected components of the
+      flow/link sharing graph: a component's freeze order, fair shares
+      and capacity subtractions involve only its own links, so solving
+      an affected component's flows alone (in input order) replays the
+      full solve's arithmetic exactly.
+
+    Full-solve fallbacks (counted in :attr:`full_solves`): construction,
+    :meth:`restore_node` (which resurrects an unknown subset of links),
+    and any externally bumped :attr:`Fabric.state_version` detected at
+    the next mutation (the same staleness protocol the capacity cache
+    uses). Everything else is an incremental repair (counted in
+    :attr:`incremental_repairs`).
+    """
+
+    def __init__(self, fabric: Fabric, flows: List[Flow]) -> None:
+        self.fabric = fabric
+        self.flows = list(flows)
+        self._flows_by_id: Dict[int, Flow] = {}
+        for flow in self.flows:
+            if flow.flow_id in self._flows_by_id:
+                raise TopologyError(f"duplicate flow id {flow.flow_id}")
+            self._flows_by_id[flow.flow_id] = flow
+        self.allocations: Dict[int, float] = {}
+        self.full_solves = 0
+        self.incremental_repairs = 0
+        self._full_solve()
+
+    # -- fabric mutations ----------------------------------------------------
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Fail the ``a``--``b`` link and repair the affected flows."""
+        self._ensure_synced()
+        before = self.fabric.state_version
+        self.fabric.fail_link(a, b)
+        if self.fabric.state_version == before:  # idempotent re-fail
+            return
+        # Removal cannot create equal-cost paths, so only pairs with the
+        # link on one of their cached ECMP paths can change.
+        dirty = set(self._link_pairs.get(Fabric.link_key(a, b), ()))
+        self._repair(dirty)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Restore the ``a``--``b`` link and repair the affected flows."""
+        self._ensure_synced()
+        before = self.fabric.state_version
+        self.fabric.restore_link(a, b)
+        if self.fabric.state_version == before:  # idempotent re-restore
+            return
+        if not self.fabric.link_is_up(a, b):
+            # An endpoint is still down: the active topology is
+            # unchanged, only the version moved.
+            self._version = self.fabric.state_version
+            self.incremental_repairs += 1
+            return
+        self._repair(self._pairs_reached_by(a, b))
+
+    def fail_node(self, node: str) -> None:
+        """Fail ``node`` (and implicitly its links); repair affected flows."""
+        self._ensure_synced()
+        before = self.fabric.state_version
+        self.fabric.fail_node(node)
+        if self.fabric.state_version == before:
+            return
+        dirty = set(self._node_pairs.get(node, ()))
+        self._repair(dirty)
+
+    def restore_node(self, node: str) -> None:
+        """Restore ``node``; falls back to a full solve.
+
+        A node restore resurrects every one of its links that is not
+        independently failed, which can shorten paths between arbitrary
+        pairs; the bounded-impact argument the link events use does not
+        apply, so this is a (counted) full-solve fallback.
+        """
+        self._ensure_synced()
+        before = self.fabric.state_version
+        self.fabric.restore_node(node)
+        if self.fabric.state_version == before:
+            return
+        self._full_solve()
+
+    def refresh(self) -> None:
+        """Resync after external fabric mutations (full solve if stale)."""
+        self._ensure_synced()
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_synced(self) -> None:
+        if self._version != self.fabric.state_version:
+            self._full_solve()
+
+    def _full_solve(self) -> None:
+        fabric = self.fabric
+        self._pair_paths: Dict[Tuple[str, str], List[List[str]]] = {}
+        self._pair_flows: Dict[Tuple[str, str], List[int]] = {}
+        self._link_pairs: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        self._node_pairs: Dict[str, Set[Tuple[str, str]]] = {}
+        self._link_flows: Dict[Tuple[str, str], Set[int]] = {}
+        for flow in self.flows:
+            pair = (flow.src, flow.dst)
+            paths = self._pair_paths.get(pair)
+            if paths is None:
+                paths = ecmp_paths(fabric, flow.src, flow.dst)
+                self._pair_paths[pair] = paths
+                self._pair_flows[pair] = []
+                self._register_pair(pair, paths)
+            self._pair_flows[pair].append(flow.flow_id)
+            flow.path = paths[flow.flow_id % len(paths)]
+            for link in path_links(flow.path):
+                self._link_flows.setdefault(link, set()).add(flow.flow_id)
+        self.allocations = max_min_fair_rates(fabric, self.flows)
+        self._version = fabric.state_version
+        self.full_solves += 1
+
+    def _register_pair(
+        self, pair: Tuple[str, str], paths: List[List[str]]
+    ) -> None:
+        for path in paths:
+            for link in path_links(path):
+                self._link_pairs.setdefault(link, set()).add(pair)
+            for node in path:
+                self._node_pairs.setdefault(node, set()).add(pair)
+
+    def _unregister_pair(
+        self, pair: Tuple[str, str], paths: List[List[str]]
+    ) -> None:
+        for path in paths:
+            for link in path_links(path):
+                members = self._link_pairs.get(link)
+                if members is not None:
+                    members.discard(pair)
+            for node in path:
+                members = self._node_pairs.get(node)
+                if members is not None:
+                    members.discard(pair)
+
+    def _pairs_reached_by(self, a: str, b: str) -> Set[Tuple[str, str]]:
+        """Pairs whose ECMP set the restored ``a``--``b`` link changes.
+
+        Any shortest path that is new since the restore must cross the
+        restored link, so a pair is affected iff the best path *via*
+        the link is no longer than its current shortest path. Two BFS
+        sweeps answer that for every tracked pair at once.
+        """
+        graph = self.fabric.active_graph()
+        dist_a = nx.single_source_shortest_path_length(graph, a)
+        dist_b = nx.single_source_shortest_path_length(graph, b)
+        inf = float("inf")
+        dirty: Set[Tuple[str, str]] = set()
+        for pair, paths in self._pair_paths.items():
+            s, t = pair
+            current = len(paths[0]) - 1
+            via = 1 + min(
+                dist_a.get(s, inf) + dist_b.get(t, inf),
+                dist_b.get(s, inf) + dist_a.get(t, inf),
+            )
+            if via <= current:
+                dirty.add(pair)
+        return dirty
+
+    def _repair(self, dirty_pairs: Set[Tuple[str, str]]) -> None:
+        fabric = self.fabric
+        link_flows = self._link_flows
+        seeds: Set[Tuple[str, str]] = set()
+        for pair in sorted(dirty_pairs):
+            old_paths = self._pair_paths[pair]
+            new_paths = ecmp_paths(fabric, pair[0], pair[1])
+            if new_paths == old_paths:
+                continue
+            self._unregister_pair(pair, old_paths)
+            self._register_pair(pair, new_paths)
+            self._pair_paths[pair] = new_paths
+            n_paths = len(new_paths)
+            for fid in self._pair_flows[pair]:
+                flow = self._flows_by_id[fid]
+                new_path = new_paths[fid % n_paths]
+                if new_path == flow.path:
+                    continue
+                old_links = path_links(flow.path)
+                new_links = path_links(new_path)
+                seeds.update(old_links)
+                seeds.update(new_links)
+                for link in old_links:
+                    members = link_flows.get(link)
+                    if members is not None:
+                        members.discard(fid)
+                for link in new_links:
+                    link_flows.setdefault(link, set()).add(fid)
+                flow.path = new_path
+        if seeds:
+            affected = self._affected_closure(seeds)
+            subset = [f for f in self.flows if f.flow_id in affected]
+            self.allocations.update(max_min_fair_rates(fabric, subset))
+        self.incremental_repairs += 1
+        self._version = fabric.state_version
+
+    def _affected_closure(self, seeds: Set[Tuple[str, str]]) -> Set[int]:
+        """Flows sharing links (transitively) with the seed link set.
+
+        Seeds are the union of every rerouted flow's old and new path
+        links, so both the component a flow left and the one it joined
+        are re-solved; untouched components keep their rates, which the
+        full solve would reproduce bit for bit anyway.
+        """
+        link_flows = self._link_flows
+        flows_by_id = self._flows_by_id
+        affected: Set[int] = set()
+        visited = set(seeds)
+        stack = list(seeds)
+        while stack:
+            link = stack.pop()
+            for fid in link_flows.get(link, ()):
+                if fid in affected:
+                    continue
+                affected.add(fid)
+                for nxt in path_links(flows_by_id[fid].path):
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append(nxt)
+        return affected
 
 
 @dataclass

@@ -31,13 +31,31 @@ def ecmp_paths(fabric: Fabric, src: str, dst: str) -> List[List[str]]:
     their bisection bandwidth to its size. Computed over the fabric's
     *active* topology, so a link failure reroutes flows across the
     surviving equal-cost paths.
+
+    Path sets are memoized on the fabric, fingerprinted by the edge
+    count plus :attr:`~repro.network.topology.Fabric.state_version`
+    (the same protocol as the flow solver's capacity cache), so
+    repeated routing between faults -- the chaos-run hot path -- costs
+    one dict lookup instead of a shortest-path enumeration. Treat the
+    returned paths as immutable; they are shared across callers.
     """
     _check_endpoints(fabric, src, dst)
-    try:
-        paths = list(nx.all_shortest_paths(fabric.active_graph(), src, dst))
-    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-        raise TopologyError(f"no path {src} -> {dst}") from exc
-    return sorted(paths)
+    fingerprint = (fabric.graph.number_of_edges(), fabric.state_version)
+    cache = getattr(fabric, "_repro_ecmp_cache", None)
+    if cache is None or cache[0] != fingerprint:
+        cache = (fingerprint, {})
+        fabric._repro_ecmp_cache = cache
+    table = cache[1]
+    paths = table.get((src, dst))
+    if paths is None:
+        try:
+            paths = sorted(
+                nx.all_shortest_paths(fabric.active_graph(), src, dst)
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise TopologyError(f"no path {src} -> {dst}") from exc
+        table[(src, dst)] = paths
+    return paths
 
 
 def ecmp_path_for_flow(

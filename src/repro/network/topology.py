@@ -151,25 +151,20 @@ class Fabric:
 
         With nothing failed this returns the underlying graph itself
         (zero-copy, so healthy fabrics route exactly as before); with
-        failures it returns a filtered copy, cached per
-        :attr:`state_version`.
+        failures it returns a read-only :func:`networkx.restricted_view`
+        hiding the down elements, cached per :attr:`state_version`.
+        The view shares node and edge data with the underlying graph
+        (no per-fault copy of a large fabric), so treat it as
+        read-only and re-request it after any topology change.
         """
         if not self._down_links and not self._down_nodes:
             return self.graph
         cached = getattr(self, "_active_cache", None)
         if cached is not None and cached[0] == self._state_version:
             return cached[1]
-        survivor = nx.Graph()
-        for node, data in self.graph.nodes(data=True):
-            if node not in self._down_nodes:
-                survivor.add_node(node, **data)
-        for a, b, data in self.graph.edges(data=True):
-            if (
-                self.link_key(a, b) not in self._down_links
-                and a not in self._down_nodes
-                and b not in self._down_nodes
-            ):
-                survivor.add_edge(a, b, **data)
+        survivor = nx.restricted_view(
+            self.graph, sorted(self._down_nodes), sorted(self._down_links)
+        )
         self._active_cache = (self._state_version, survivor)
         return survivor
 

@@ -34,6 +34,13 @@ Benches
     Per-switch bisection-impact analysis of a host-heavy leaf-spine:
     the production contract-once/reuse-the-baseline-flow analysis vs
     the frozen copy-and-recompute-per-switch reference.
+``incremental_flow_repair``
+    A localized fault schedule (ToR-uplink flaps, aggregation-switch
+    crashes) over a ~1k-switch fat-tree:
+    :class:`~repro.network.flows.IncrementalMaxMinSolver` repairing
+    only the affected flows per event vs the frozen
+    reroute-everything + full-re-solve driver. Allocation snapshots
+    after every event must match bit for bit.
 ``mc_commodity_year``
     Sampled commodity-year scenarios (the E1/E16 Monte-Carlo shape):
     one :func:`repro.mc.commodity_year_samples` batch vs the frozen
@@ -75,6 +82,7 @@ from __future__ import annotations
 import json
 import random
 import statistics
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -226,6 +234,92 @@ def _bench_switch_impact(impl, hosts_per_leaf: int) -> _BenchOutcome:
     worst = impl(fabric)
     elapsed = time.perf_counter() - start
     return elapsed, tuple(value for _, value in sorted(worst.items()))
+
+
+def _fault_schedule_workload(
+    k: int, n_flows: int, n_events: int, seed: int
+) -> Tuple[Any, List[Any], List[Tuple[str, Tuple]]]:
+    """A fat-tree, a flow set and a localized fault schedule.
+
+    Fault targets are ToR uplinks and aggregation switches that the
+    flows actually cross (discovered by routing once on the pristine
+    fabric), so every event reroutes someone but none can disconnect a
+    host: a ToR keeps k/2 uplinks and the schedule downs at most a few
+    elements concurrently. Deterministic in ``seed``; called once per
+    bench side so candidate and reference mutate separate fabrics.
+    """
+    from repro.network.flows import Flow
+    from repro.network.routing import ecmp_path_for_flow, path_links
+    from repro.network.topology import ROLE_AGG, ROLE_TOR, fat_tree
+
+    fabric = fat_tree(k)
+    rng = random.Random(seed)
+    hosts = fabric.hosts
+    flows = []
+    for i in range(n_flows):
+        src = rng.choice(hosts)
+        dst = rng.choice(hosts)
+        while dst == src:
+            dst = rng.choice(hosts)
+        flows.append(Flow(i, src, dst, (1 + rng.random() * 99) * 1e6))
+
+    uplinks: List[Tuple[str, str]] = []
+    aggs: List[str] = []
+    seen_links: set = set()
+    seen_aggs: set = set()
+    for flow in flows:
+        path = ecmp_path_for_flow(fabric, flow.src, flow.dst, flow.flow_id)
+        for link in path_links(path):
+            roles = {fabric.role(link[0]), fabric.role(link[1])}
+            if roles == {ROLE_TOR, ROLE_AGG} and link not in seen_links:
+                seen_links.add(link)
+                uplinks.append(link)
+        for node in path:
+            if fabric.role(node) == ROLE_AGG and node not in seen_aggs:
+                seen_aggs.add(node)
+                aggs.append(node)
+
+    schedule: List[Tuple[str, Tuple]] = []
+    downed: List[Tuple[str, str]] = []
+    for j in range(n_events):
+        phase = j % 4
+        if phase == 3 and downed:
+            schedule.append(("restore_link", downed.pop(0)))
+        elif phase == 2 and aggs:
+            schedule.append(
+                ("fail_node", (aggs.pop(rng.randrange(len(aggs))),))
+            )
+        else:
+            remaining = [link for link in uplinks if link not in downed]
+            link = remaining[rng.randrange(len(remaining))]
+            downed.append(link)
+            schedule.append(("fail_link", link))
+    return fabric, flows, schedule
+
+
+def _bench_incremental_repair(
+    incremental: bool, k: int, n_flows: int, n_events: int, seed: int
+) -> _BenchOutcome:
+    fabric, flows, schedule = _fault_schedule_workload(
+        k, n_flows, n_events, seed
+    )
+    if incremental:
+        from repro.network.flows import IncrementalMaxMinSolver
+
+        start = time.perf_counter()
+        solver = IncrementalMaxMinSolver(fabric, flows)
+        snapshots = [dict(solver.allocations)]
+        for method, args in schedule:
+            getattr(solver, method)(*args)
+            snapshots.append(dict(solver.allocations))
+        elapsed = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        snapshots = _perfref.reference_fault_schedule_rates(
+            fabric, flows, schedule
+        )
+        elapsed = time.perf_counter() - start
+    return elapsed, snapshots
 
 
 # ---------------------------------------------------------------------------
@@ -417,6 +511,9 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     n_mc_q = max(int(500 * scale), 50)
     n_mc_t = max(int(300 * scale), 30)
     corpus_reps = max(int(100 * scale), 2)
+    repair_k = 8 if quick else 30  # 1125 switches at k=30
+    repair_flows = 10 if quick else 24
+    repair_events = 6 if quick else 10
 
     return [
         BenchSpec(
@@ -517,6 +614,23 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
             exact=False,
         ),
         BenchSpec(
+            name="incremental_flow_repair",
+            suite="network",
+            description=(
+                f"{repair_events}-event localized fault schedule over a "
+                f"k={repair_k} fat-tree with {repair_flows} flows: "
+                "incremental repair vs full reroute + re-solve per event"
+            ),
+            candidate=lambda: _bench_incremental_repair(
+                True, repair_k, repair_flows, repair_events, 17 + seed
+            ),
+            reference=lambda: _bench_incremental_repair(
+                False, repair_k, repair_flows, repair_events, 17 + seed
+            ),
+            exact=True,  # allocations must match bit for bit
+            target_speedup=None if quick else 10.0,
+        ),
+        BenchSpec(
             name="mc_commodity_year",
             suite="models",
             description=(
@@ -611,25 +725,45 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
             reference=lambda: _bench_theme_statistics(
                 _modelref.reference_theme_statistics, corpus_reps
             ),
+            target_speedup=None if quick else 5.0,
         ),
     ]
 
 
 def run_suites(
-    rounds: int = 3, quick: bool = False, seed: int = 0
+    rounds: int = 3,
+    quick: bool = False,
+    seed: int = 0,
+    suites: Optional[List[str]] = None,
 ) -> Dict[str, Dict[str, Any]]:
-    """Run every bench; returns ``{suite_name: suite_results}``."""
+    """Run the benches; returns ``{suite_name: suite_results}``.
+
+    ``suites`` restricts the run to the named suite ids; ``None`` runs
+    everything. Unknown suite ids raise :class:`ModelError` (so the CLI
+    fails loudly instead of silently running nothing).
+    """
     if rounds < 1:
         raise ModelError(f"rounds must be >= 1, got {rounds}")
-    suites: Dict[str, Dict[str, Any]] = {}
-    for spec in build_specs(quick=quick, seed=seed):
-        suite = suites.setdefault(
+    specs = build_specs(quick=quick, seed=seed)
+    known = sorted({spec.suite for spec in specs})
+    if suites is not None:
+        unknown = sorted(set(suites) - set(known))
+        if unknown:
+            raise ModelError(
+                f"unknown perf suite(s): {', '.join(unknown)}; "
+                f"valid suites: {', '.join(known)}"
+            )
+        wanted = set(suites)
+        specs = [spec for spec in specs if spec.suite in wanted]
+    results: Dict[str, Dict[str, Any]] = {}
+    for spec in specs:
+        suite = results.setdefault(
             spec.suite,
             {"suite": spec.suite, "rounds": rounds, "quick": quick,
              "benches": {}},
         )
         suite["benches"][spec.name] = _run_spec(spec, rounds)
-    return suites
+    return results
 
 
 def write_results(
@@ -709,6 +843,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro perf",
         description="pinned engine/flow-solver perf microbenches",
     )
+    parser.add_argument("suites", nargs="*", metavar="SUITE",
+                        help="suite ids to run (engine, models, network); "
+                             "default: all suites")
     parser.add_argument("--out-dir", default=".",
                         help="where to write BENCH_*.json (default: .)")
     parser.add_argument("--rounds", type=int, default=3,
@@ -722,7 +859,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "shared with `repro run`; default: 0)")
     args = parser.parse_args(argv)
 
-    suites = run_suites(rounds=args.rounds, quick=args.quick, seed=args.seed)
+    try:
+        suites = run_suites(
+            rounds=args.rounds, quick=args.quick, seed=args.seed,
+            suites=args.suites or None,
+        )
+    except ModelError as error:
+        # Same helpful-failure pattern as `repro trace`: a misspelled
+        # suite id must not exit 0 having silently run nothing.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(render_results(suites))
     for path in write_results(suites, Path(args.out_dir)):
         print(f"wrote {path}")

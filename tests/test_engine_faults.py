@@ -17,6 +17,7 @@ from repro.engine.faults import (
     LINK_FLAP,
     STRAGGLER,
     SWITCH_CRASH,
+    FaultEvent,
 )
 from repro.errors import (
     DeadlineExceeded,
@@ -542,6 +543,104 @@ class TestSchedulerOutages:
         assert (
             first["makespan_s.outages"] >= first["makespan_s.healthy"]
         )
+
+
+def _one_straggler_injector(seed, *, until=None):
+    """One max_faults=1 straggler schedule, optionally stopped early."""
+    sim = Simulator()
+    injector = FaultInjector(sim, seed=seed)
+    injector.install(
+        FaultSpec(kind=STRAGGLER, targets=("w",), mtbf_s=2.0, mttr_s=1.0,
+                  max_faults=1)
+    )
+    sim.run(until=until)
+    return sim, injector
+
+
+class TestOutageWindowBoundaries:
+    """Regression: windows at the query horizon must clamp, never dangle.
+
+    An outage still in progress at the horizon used to be invisible (or,
+    when reported naively, open-ended). ``outage_windows`` must report
+    it clamped to the horizon, and a repair landing *exactly at* the
+    horizon must yield the same single ``[down, T]`` window whether the
+    repair event has executed or is still pending -- one window, closed,
+    never doubled.
+    """
+
+    def test_default_args_match_old_behavior(self):
+        _, injector = _one_straggler_injector(11)
+        event = injector.events[0]
+        assert injector.outage_windows() == [event]
+        assert injector.outage_windows(STRAGGLER) == [event]
+        assert injector.outage_windows(LINK_FLAP) == []
+
+    def test_active_outage_clamped_to_now(self):
+        _, full = _one_straggler_injector(11)
+        event = full.events[0]
+        mid = (event.down_s + event.up_s) / 2
+        sim, injector = _one_straggler_injector(11, until=mid)
+        assert sim.now == mid
+        assert injector.outage_windows() == []  # still open: not completed
+        windows = injector.outage_windows(include_active=True)
+        assert windows == [
+            FaultEvent(STRAGGLER, "w", event.down_s, mid)
+        ]
+
+    def test_repair_exactly_at_horizon_yields_one_closed_window(self):
+        _, full = _one_straggler_injector(11)
+        event = full.events[0]
+        # Events scheduled exactly at `until` execute, so the repair has
+        # landed: the completed window must appear once, unclamped, with
+        # no phantom active duplicate.
+        _, injector = _one_straggler_injector(11, until=event.up_s)
+        windows = injector.outage_windows(
+            include_active=True, until=event.up_s
+        )
+        assert windows == [event]
+
+    def test_pending_repair_at_horizon_yields_same_window(self):
+        _, full = _one_straggler_injector(11)
+        event = full.events[0]
+        # Stop mid-outage; query "as of the repair time" anyway. The
+        # still-open outage clamps to the same [down, up] the completed
+        # run reports -- the boundary is consistent either way.
+        _, injector = _one_straggler_injector(
+            11, until=(event.down_s + event.up_s) / 2
+        )
+        windows = injector.outage_windows(
+            include_active=True, until=event.up_s
+        )
+        assert windows == [event]
+
+    def test_until_clamps_completed_windows(self):
+        _, injector = _one_straggler_injector(11)
+        event = injector.events[0]
+        mid = (event.down_s + event.up_s) / 2
+        assert injector.outage_windows(until=mid) == [
+            FaultEvent(STRAGGLER, "w", event.down_s, mid)
+        ]
+
+    def test_zero_length_window_at_horizon_dropped(self):
+        _, injector = _one_straggler_injector(11)
+        event = injector.events[0]
+        assert injector.outage_windows(until=event.down_s) == []
+        assert injector.outage_windows(
+            include_active=True, until=event.down_s
+        ) == []
+
+    def test_kind_filter_applies_to_active_outages(self):
+        _, full = _one_straggler_injector(11)
+        event = full.events[0]
+        _, injector = _one_straggler_injector(
+            11, until=(event.down_s + event.up_s) / 2
+        )
+        assert injector.outage_windows(
+            LINK_FLAP, include_active=True
+        ) == []
+        assert len(injector.outage_windows(
+            STRAGGLER, include_active=True
+        )) == 1
 
 
 class TestChaosDeterminism:

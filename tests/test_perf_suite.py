@@ -31,6 +31,7 @@ EXPECTED_BENCHES = {
     },
     "network": {
         "flow_solver_500", "flow_solver_scaling", "switch_failure_impact",
+        "incremental_flow_repair",
     },
     "models": {
         "mc_commodity_year", "roi_npv_sweep", "soc_sip_unit_costs",
@@ -73,10 +74,35 @@ class TestSuiteSchema:
         assert targets["flow_solver_500"] == 5.0
         assert targets["mc_commodity_year"] == 10.0
         assert targets["roi_npv_sweep"] == 10.0
+        assert targets["survey_theme_stats"] == 5.0
+        assert targets["incremental_flow_repair"] == 10.0
 
     def test_rejects_bad_rounds(self):
         with pytest.raises(ModelError):
             run_suites(rounds=0, quick=True)
+
+
+class TestSuiteSelection:
+    def test_single_suite_runs_only_that_suite(self):
+        results = run_suites(rounds=1, quick=True, suites=["models"])
+        assert set(results) == {"models"}
+        assert set(results["models"]["benches"]) == EXPECTED_BENCHES["models"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ModelError, match="unknown perf suite"):
+            run_suites(rounds=1, quick=True, suites=["modles"])
+
+    def test_unknown_suite_message_lists_valid_ids(self):
+        with pytest.raises(ModelError, match="engine, models, network"):
+            run_suites(rounds=1, quick=True, suites=["bogus"])
+
+    def test_cli_unknown_suite_exits_2(self, capsys):
+        from repro.perf import main
+
+        rc = main(["bogus", "--quick", "--rounds", "1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown perf suite" in err and "bogus" in err
 
     def test_render_mentions_every_bench(self, quick_suites):
         text = render_results(quick_suites)
