@@ -19,6 +19,10 @@ submodules:
   from :mod:`repro.reporting`.
 - :class:`Simulator` / :class:`Observability` -- the deterministic DES
   kernel and its metrics/span substrate; from :mod:`repro.engine`.
+- :func:`partition_fabric` / :class:`ShardedSimulation` and
+  :func:`simulate_fabric` / :func:`simulate_fabric_sharded` -- the
+  sharded conservative-time engine and its reference fabric workload;
+  from :mod:`repro.engine` and :mod:`repro.workloads`.
 - :class:`FaultInjector` / :class:`FaultSpec` and :func:`retry` /
   :func:`hedge` / :func:`with_deadline` -- runtime fault injection and
   the tail-tolerance primitives; from :mod:`repro.engine`.
@@ -58,8 +62,10 @@ from repro.engine import (
     Observability,
     RandomStream,
     RetryPolicy,
+    ShardedSimulation,
     Simulator,
     hedge,
+    partition_fabric,
     retry,
     with_deadline,
 )
@@ -79,6 +85,7 @@ from repro.runner import (
     runnable_experiments,
 )
 from repro.survey import generate_corpus
+from repro.workloads import simulate_fabric, simulate_fabric_sharded
 
 __all__ = [
     "EXPERIMENTS",
@@ -90,6 +97,7 @@ __all__ = [
     "RandomStream",
     "RetryPolicy",
     "RunResult",
+    "ShardedSimulation",
     "Simulator",
     "__version__",
     "build_roadmap",
@@ -97,12 +105,15 @@ __all__ = [
     "get_experiment",
     "hedge",
     "mc",
+    "partition_fabric",
     "render_table",
     "retry",
     "run_experiment",
     "run_grid",
     "run_trace",
     "runnable_experiments",
+    "simulate_fabric",
+    "simulate_fabric_sharded",
     "traceable_experiments",
     "with_deadline",
 ]

@@ -14,10 +14,13 @@ Commands:
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
 - ``perf``         -- run the pinned perf microbenches (production
-  kernel vs frozen pre-fast-path reference); write ``BENCH_engine.json``,
-  ``BENCH_models.json`` and ``BENCH_network.json``. Positional suite
-  ids (``engine``, ``models``, ``network``) restrict the run; an
-  unknown id is an error listing the valid set, like ``trace``.
+  kernel vs frozen pre-fast-path reference, plus the sharded engine vs
+  the sequential one); write ``BENCH_engine.json``, ``BENCH_models.json``,
+  ``BENCH_network.json`` and ``BENCH_sharded.json``, and append a
+  summary line to ``benchmarks/BENCH_history.jsonl``. Positional suite
+  ids (``engine``, ``models``, ``network``, ``sharded``) restrict the
+  run; ``--list`` prints every suite/bench with its pinned floors; an
+  unknown id is an error printing that same listing, like ``trace``.
 
 The ``run``, ``trace`` and ``perf`` commands share argument
 conventions: experiments and suites resolve through a registry (so

@@ -8,9 +8,11 @@ resources, continuous containers and FIFO stores;
 :mod:`~repro.engine.observability` adds span tracing, a metrics registry
 (counters/gauges/histograms) and engine hooks;
 :mod:`~repro.engine.randomness` provides reproducible variate streams;
-:mod:`~repro.engine.faults` injects deterministic runtime faults; and
+:mod:`~repro.engine.faults` injects deterministic runtime faults;
 :mod:`~repro.engine.resilience` provides retry/deadline/hedge
-primitives for tail-tolerant processes.
+primitives for tail-tolerant processes; and :mod:`~repro.engine.sharded`
+runs one kernel per fabric shard under conservative time-window
+synchronization, bit-for-bit equivalent to a single-process run.
 """
 
 from repro.engine.faults import (
@@ -37,6 +39,12 @@ from repro.engine.resilience import (
     with_deadline,
 )
 from repro.engine.resources import Container, Resource, Store
+from repro.engine.sharded import (
+    ShardPlan,
+    ShardedRunResult,
+    ShardedSimulation,
+    partition_fabric,
+)
 from repro.engine.sim import Event, Interrupt, ProcessHandle, Simulator, Timeout
 from repro.engine.trace import (
     MetricSeries,
@@ -64,6 +72,9 @@ __all__ = [
     "Registry",
     "Resource",
     "RetryPolicy",
+    "ShardPlan",
+    "ShardedRunResult",
+    "ShardedSimulation",
     "Simulator",
     "Span",
     "SpanLog",
@@ -72,6 +83,7 @@ __all__ = [
     "Tracer",
     "confidence_interval_95",
     "hedge",
+    "partition_fabric",
     "retry",
     "summarize",
     "with_deadline",

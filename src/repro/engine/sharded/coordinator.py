@@ -1,0 +1,258 @@
+"""Conservative-time coordination of per-shard simulators.
+
+A :class:`ShardedSimulation` drives ``n_shards`` independent
+:class:`~repro.engine.sim.Simulator` instances -- one per shard of a
+:class:`~repro.engine.sharded.partition.ShardPlan` -- through barrier-
+synchronous conservative time windows:
+
+1. the *window base* is the global minimum next-event time over every
+   shard calendar and every in-flight boundary event (skip-ahead: idle
+   stretches cost one round, not ``horizon / lookahead`` rounds);
+2. the *window end* is ``base + lookahead`` and every shard advances
+   through the half-open window ``[base, end)`` -- exclusive of the end,
+   so an arrival at exactly ``end`` is processed only after the barrier
+   that delivers same-window boundary events;
+3. at the barrier, each shard's outbox is routed to its destination
+   shard (an empty exchange is a null message: it still advances every
+   clock), and the loop repeats until all shards quiesce.
+
+The workload side plugs in through a *shard adapter* -- any object with
+``build_runtime(shard_id)`` returning a runtime exposing
+``next_time() -> float | None``,
+``schedule_incoming(events) -> None``,
+``advance(window_end) -> list[BoundaryEvent]`` and
+``finalize() -> (records, metrics)``. ``advance(math.inf)`` must run the
+shard to quiescence (the single-shard / empty-cut case).
+
+Two drivers share the window loop: *inline* (every shard in this
+process, round-robin -- determinism debugging, tests, Windows) and
+*fork* (one worker process per shard exchanging pickled messages over
+pipes, the :mod:`repro.runner.pool` idiom -- fork start method, duplex
+pipes, daemon workers, terminate-on-error). Both produce identical
+barriers, outboxes and merged traces; only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine.sharded.partition import ShardPlan
+from repro.engine.sharded.sync import (
+    BoundaryEvent,
+    TraceRecord,
+    merge_shard_traces,
+    next_window,
+)
+from repro.errors import SimulationError
+
+_EVENT_KEY = (lambda event: (event.when, event.seq))
+
+
+@dataclass(frozen=True)
+class ShardedRunResult:
+    """The merged outcome of one sharded run.
+
+    ``records`` is the canonical merged trace (sorted by ``(when,
+    seq)``); ``shard_metrics[i]`` is shard ``i``'s finalize metrics;
+    ``rounds`` counts conservative windows (barriers) and
+    ``boundary_events`` counts cross-shard deliveries.
+    """
+
+    records: List[TraceRecord]
+    shard_metrics: List[Dict[str, Any]]
+    rounds: int
+    boundary_events: int
+    n_shards: int
+
+
+class ShardedSimulation:
+    """Drive a shard adapter to completion under conservative windows."""
+
+    def __init__(
+        self,
+        adapter: Any,
+        plan: ShardPlan,
+        inline: bool = False,
+    ) -> None:
+        self.adapter = adapter
+        self.plan = plan
+        self.inline = inline
+
+    def run(self) -> ShardedRunResult:
+        """Run every shard to quiescence; merge traces deterministically."""
+        if self.inline or self.plan.n_shards == 1:
+            finals, rounds, boundary = self._run_inline()
+        else:
+            finals, rounds, boundary = self._run_fork()
+        records = merge_shard_traces([records for records, _ in finals])
+        return ShardedRunResult(
+            records=records,
+            shard_metrics=[metrics for _, metrics in finals],
+            rounds=rounds,
+            boundary_events=boundary,
+            n_shards=self.plan.n_shards,
+        )
+
+    # -- shared window arithmetic ------------------------------------------
+
+    @staticmethod
+    def _window(
+        next_times: List[Optional[float]],
+        pending: List[List[BoundaryEvent]],
+        lookahead_s: float,
+    ) -> Optional[float]:
+        times: List[Optional[float]] = list(next_times)
+        for box in pending:
+            for event in box:
+                times.append(event.when)
+        return next_window(times, lookahead_s)
+
+    # -- inline driver -----------------------------------------------------
+
+    def _run_inline(self):
+        n = self.plan.n_shards
+        runtimes = [self.adapter.build_runtime(i) for i in range(n)]
+        next_times = [runtime.next_time() for runtime in runtimes]
+        pending: List[List[BoundaryEvent]] = [[] for _ in range(n)]
+        rounds = 0
+        boundary = 0
+        while True:
+            window_end = self._window(
+                next_times, pending, self.plan.lookahead_s
+            )
+            if window_end is None:
+                break
+            rounds += 1
+            fresh: List[List[BoundaryEvent]] = [[] for _ in range(n)]
+            for i, runtime in enumerate(runtimes):
+                if pending[i]:
+                    pending[i].sort(key=_EVENT_KEY)
+                    runtime.schedule_incoming(pending[i])
+                outbox = runtime.advance(window_end)
+                next_times[i] = runtime.next_time()
+                for event in outbox:
+                    fresh[event.dest_shard].append(event)
+                    boundary += 1
+            pending = fresh
+        finals = [runtime.finalize() for runtime in runtimes]
+        return finals, rounds, boundary
+
+    # -- fork driver -------------------------------------------------------
+
+    def _run_fork(self):
+        from repro.runner.pool import _mp_context
+
+        context = _mp_context()
+        n = self.plan.n_shards
+        workers = []
+        try:
+            for shard_id in range(n):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, self.adapter, shard_id),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append((process, parent_conn))
+            next_times = [
+                self._receive(conn, shard_id, "ready")
+                for shard_id, (_, conn) in enumerate(workers)
+            ]
+            pending: List[List[BoundaryEvent]] = [[] for _ in range(n)]
+            rounds = 0
+            boundary = 0
+            while True:
+                window_end = self._window(
+                    next_times, pending, self.plan.lookahead_s
+                )
+                if window_end is None:
+                    break
+                rounds += 1
+                for shard_id, (_, conn) in enumerate(workers):
+                    inbox = pending[shard_id]
+                    inbox.sort(key=_EVENT_KEY)
+                    conn.send(("advance", window_end, inbox))
+                pending = [[] for _ in range(n)]
+                for shard_id, (_, conn) in enumerate(workers):
+                    outbox, next_times[shard_id] = self._receive(
+                        conn, shard_id, "advanced"
+                    )
+                    for event in outbox:
+                        pending[event.dest_shard].append(event)
+                        boundary += 1
+            finals = []
+            for shard_id, (_, conn) in enumerate(workers):
+                conn.send(("finalize",))
+                finals.append(self._receive(conn, shard_id, "final"))
+            return finals, rounds, boundary
+        finally:
+            for process, conn in workers:
+                conn.close()
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - crash cleanup
+                    process.terminate()
+                    process.join()
+
+    @staticmethod
+    def _receive(conn, shard_id: int, expected: str):
+        try:
+            message = conn.recv()
+        except EOFError as error:  # pragma: no cover - worker crash
+            raise SimulationError(
+                f"shard {shard_id} worker died before replying"
+            ) from error
+        if message[0] == "error":
+            raise SimulationError(
+                f"shard {shard_id} worker failed:\n{message[1]}"
+            )
+        if message[0] != expected:  # pragma: no cover - protocol bug
+            raise SimulationError(
+                f"shard {shard_id}: expected {expected!r} reply, got "
+                f"{message[0]!r}"
+            )
+        return message[1]
+
+
+def _shard_worker_main(conn, adapter: Any, shard_id: int) -> None:
+    """Worker body: build the shard runtime, serve barrier rounds, exit.
+
+    Message protocol (parent -> worker / worker -> parent):
+
+    - ``("advance", window_end, incoming)`` -> ``("advanced", (outbox,
+      next_time))``
+    - ``("finalize",)`` -> ``("final", (records, metrics))`` then exit.
+
+    Any exception ships back as ``("error", traceback)``.
+    """
+    import traceback
+
+    try:
+        runtime = adapter.build_runtime(shard_id)
+        conn.send(("ready", runtime.next_time()))
+        while True:
+            message = conn.recv()
+            if message[0] == "advance":
+                _, window_end, incoming = message
+                if incoming:
+                    runtime.schedule_incoming(incoming)
+                outbox = runtime.advance(window_end)
+                conn.send(("advanced", (outbox, runtime.next_time())))
+            elif message[0] == "finalize":
+                conn.send(("final", runtime.finalize()))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise SimulationError(
+                    f"shard {shard_id}: unknown command {message[0]!r}"
+                )
+    except EOFError:  # pragma: no cover - parent died
+        return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()

@@ -186,9 +186,20 @@ class IncrementalMaxMinSolver:
     the next mutation (the same staleness protocol the capacity cache
     uses). Everything else is an incremental repair (counted in
     :attr:`incremental_repairs`).
+
+    Pass an observability metrics ``registry``
+    (:attr:`~repro.engine.observability.Observability.registry`) to
+    mirror both counters into ``flows.incremental.full_solves`` and
+    ``flows.incremental.repairs``, so instrumented runs
+    (``python -m repro trace``) report the repair/fallback split.
     """
 
-    def __init__(self, fabric: Fabric, flows: List[Flow]) -> None:
+    def __init__(
+        self,
+        fabric: Fabric,
+        flows: List[Flow],
+        registry: Optional[object] = None,
+    ) -> None:
         self.fabric = fabric
         self.flows = list(flows)
         self._flows_by_id: Dict[int, Flow] = {}
@@ -199,6 +210,7 @@ class IncrementalMaxMinSolver:
         self.allocations: Dict[int, float] = {}
         self.full_solves = 0
         self.incremental_repairs = 0
+        self._registry = registry
         self._full_solve()
 
     # -- fabric mutations ----------------------------------------------------
@@ -226,7 +238,7 @@ class IncrementalMaxMinSolver:
             # An endpoint is still down: the active topology is
             # unchanged, only the version moved.
             self._version = self.fabric.state_version
-            self.incremental_repairs += 1
+            self._count("repairs")
             return
         self._repair(self._pairs_reached_by(a, b))
 
@@ -265,6 +277,15 @@ class IncrementalMaxMinSolver:
         if self._version != self.fabric.state_version:
             self._full_solve()
 
+    def _count(self, kind: str) -> None:
+        """Bump the local counter and (if attached) its registry mirror."""
+        if kind == "full_solves":
+            self.full_solves += 1
+        else:
+            self.incremental_repairs += 1
+        if self._registry is not None:
+            self._registry.counter(f"flows.incremental.{kind}").inc()
+
     def _full_solve(self) -> None:
         fabric = self.fabric
         self._pair_paths: Dict[Tuple[str, str], List[List[str]]] = {}
@@ -286,7 +307,7 @@ class IncrementalMaxMinSolver:
                 self._link_flows.setdefault(link, set()).add(flow.flow_id)
         self.allocations = max_min_fair_rates(fabric, self.flows)
         self._version = fabric.state_version
-        self.full_solves += 1
+        self._count("full_solves")
 
     def _register_pair(
         self, pair: Tuple[str, str], paths: List[List[str]]
@@ -367,7 +388,7 @@ class IncrementalMaxMinSolver:
             affected = self._affected_closure(seeds)
             subset = [f for f in self.flows if f.flow_id in affected]
             self.allocations.update(max_min_fair_rates(fabric, subset))
-        self.incremental_repairs += 1
+        self._count("repairs")
         self._version = fabric.state_version
 
     def _affected_closure(self, seeds: Set[Tuple[str, str]]) -> Set[int]:

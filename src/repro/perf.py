@@ -41,6 +41,18 @@ Benches
     only the affected flows per event vs the frozen
     reroute-everything + full-re-solve driver. Allocation snapshots
     after every event must match bit for bit.
+``sharded_fabric_4w``
+    The X14 fabric-transport workload (k=30 fat-tree, 1125 switches,
+    100k requests) on the sharded conservative-time engine -- 4 worker
+    processes, pod-aligned cut -- vs the single-process kernel. The
+    checksum is the canonical trace digest plus delivery counts, so
+    every perf run re-proves bit-for-bit engine equivalence before
+    timing is trusted. Pinned 3x target; the floor is enforced only on
+    machines with >= 4 cores (see ``parallel_workers``).
+``sharded_window_protocol``
+    The same workload with 4 shards *inline* in one process: isolates
+    the conservative-window protocol overhead (barriers, boundary-event
+    routing, trace merge) from parallel hardware.
 ``mc_commodity_year``
     Sampled commodity-year scenarios (the E1/E16 Monte-Carlo shape):
     one :func:`repro.mc.commodity_year_samples` batch vs the frozen
@@ -66,20 +78,28 @@ exact float ties differently). The model benches are bit-exact except
 ``soc_sip_unit_costs``, where numpy's SIMD ``pow`` differs from scalar
 libm ``pow`` by 1 ULP in the yield term (see :mod:`repro.mc.soc_sip`).
 
-Outputs ``BENCH_engine.json``, ``BENCH_network.json`` and
-``BENCH_models.json``; with ``--check <dir>`` the run fails if any bench
-regresses more than 25% against the committed baseline or drops below
-its pinned ``min_speedup`` floor. The headline benches carry a
-``target_speedup`` (3x event churn, 5x 500-flow solver, 10x for the
-sampled-scenario model benches) that the committed baseline
-demonstrates; the CI floor is the target minus the regression tolerance,
-so a genuine regression trips the gate but single-vCPU scheduler jitter
-does not.
+Outputs ``BENCH_engine.json``, ``BENCH_network.json``,
+``BENCH_models.json`` and ``BENCH_sharded.json``; with ``--check <dir>``
+the run fails if any bench regresses more than 25% against the committed
+baseline or drops below its pinned ``min_speedup`` floor. The headline
+benches carry a ``target_speedup`` (3x event churn, 5x 500-flow solver,
+10x for the sampled-scenario model benches, 3x the 4-worker sharded
+engine) that the committed baseline demonstrates; the CI floor is the
+target minus the regression tolerance, so a genuine regression trips
+the gate but single-vCPU scheduler jitter does not. Parallel benches
+record the core count they ran on and are ratio-gated only when the
+machine can actually host their workers.
+
+``--list`` prints every suite, bench id and pinned floor without
+running anything, and every timed run appends one JSON line -- UTC
+timestamp, git revision, all speedup ratios -- to
+``benchmarks/BENCH_history.jsonl`` (override with ``--history-file``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import statistics
 import sys
@@ -398,6 +418,38 @@ def _bench_theme_statistics(impl, replication: int) -> _BenchOutcome:
 
 
 # ---------------------------------------------------------------------------
+# Sharded-engine benches. Candidate and reference are the *same*
+# workload through two engines -- the sharded conservative-time
+# coordinator vs the single-process kernel -- so the checksum (the
+# canonical trace digest plus delivery counts) doubles as the
+# bit-for-bit equivalence gate on every perf run.
+# ---------------------------------------------------------------------------
+
+
+def _bench_sharded_fabric(
+    shards: int, inline: bool, workload
+) -> _BenchOutcome:
+    from repro.workloads.fabricsim import (
+        simulate_fabric,
+        simulate_fabric_sharded,
+    )
+
+    start = time.perf_counter()
+    if shards <= 1:
+        run = simulate_fabric(workload)
+    else:
+        run = simulate_fabric_sharded(workload, shards=shards, inline=inline)
+    elapsed = time.perf_counter() - start
+    checksum = (
+        run.metrics["trace_sha256"],
+        run.metrics["delivered"],
+        run.metrics["dropped"],
+        run.metrics["fault_events"],
+    )
+    return elapsed, checksum
+
+
+# ---------------------------------------------------------------------------
 # Harness.
 # ---------------------------------------------------------------------------
 
@@ -417,6 +469,12 @@ class BenchSpec:
     #: single-vCPU timing jitter cannot flake the gate while a real
     #: regression still trips it.
     target_speedup: Optional[float] = None
+    #: Worker processes the candidate needs to hit its target (0 for a
+    #: single-process bench). A parallel bench records the core count it
+    #: ran on, and the baseline check only enforces ratio floors when
+    #: the machine actually has that many cores -- a 4-worker 3x target
+    #: is meaningless on a 1-core box.
+    parallel_workers: int = 0
 
 
 def _verify_checksums(spec: BenchSpec, candidate: Any, reference: Any) -> None:
@@ -471,7 +529,18 @@ def _run_spec(spec: BenchSpec, rounds: int) -> Dict[str, Any]:
         entry["min_speedup"] = round(
             spec.target_speedup * (1.0 - REGRESSION_TOLERANCE), 3
         )
+    if spec.parallel_workers:
+        entry["parallel_workers"] = spec.parallel_workers
+        entry["cores"] = _available_cores()
     return entry
+
+
+def _available_cores() -> int:
+    """CPU cores available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
@@ -494,6 +563,7 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     )
     from repro.network.failures import single_switch_failure_impact
     from repro.network.flows import FlowSimulator
+    from repro.workloads.fabricsim import FabricWorkload
 
     scale = 0.1 if quick else 1.0
     n_churn = max(int(50_000 * scale), 500)
@@ -514,6 +584,15 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
     repair_k = 8 if quick else 30  # 1125 switches at k=30
     repair_flows = 10 if quick else 24
     repair_events = 6 if quick else 10
+    sharded_workload = FabricWorkload(
+        fabric="fat-tree",
+        k=8 if quick else 30,  # 1125 switches, 6750 hosts at k=30
+        n_requests=4_000 if quick else 100_000,
+        duration_s=2e-3,
+        seed=23 + seed,
+    )
+    sharded_shards = 2 if quick else 4
+    sharded_workers = 2 if quick else 4
 
     return [
         BenchSpec(
@@ -629,6 +708,41 @@ def build_specs(quick: bool = False, seed: int = 0) -> List[BenchSpec]:
             ),
             exact=True,  # allocations must match bit for bit
             target_speedup=None if quick else 10.0,
+        ),
+        BenchSpec(
+            name="sharded_fabric_4w",
+            suite="sharded",
+            description=(
+                f"k={sharded_workload.k} fat-tree transport "
+                f"({sharded_workload.n_requests} requests): "
+                f"{sharded_shards} worker processes under conservative "
+                "windows vs the single-process kernel"
+            ),
+            candidate=lambda: _bench_sharded_fabric(
+                sharded_shards, False, sharded_workload
+            ),
+            reference=lambda: _bench_sharded_fabric(
+                1, False, sharded_workload
+            ),
+            exact=True,  # merged trace digest must match bit for bit
+            target_speedup=None if quick else 3.0,
+            parallel_workers=sharded_workers,
+        ),
+        BenchSpec(
+            name="sharded_window_protocol",
+            suite="sharded",
+            description=(
+                f"same workload, {sharded_shards} shards inline in one "
+                "process: conservative-window protocol overhead without "
+                "parallel hardware"
+            ),
+            candidate=lambda: _bench_sharded_fabric(
+                sharded_shards, True, sharded_workload
+            ),
+            reference=lambda: _bench_sharded_fabric(
+                1, False, sharded_workload
+            ),
+            exact=True,
         ),
         BenchSpec(
             name="mc_commodity_year",
@@ -788,6 +902,15 @@ def check_against_baseline(
     A bench fails when its speedup drops more than
     ``REGRESSION_TOLERANCE`` below the baseline speedup, or below the
     baseline's pinned ``min_speedup`` floor.
+
+    Parallel benches (``parallel_workers`` set) compare like with like:
+    a run or baseline only counts as *parallel* when its recorded core
+    count covers the workers it needs. When parallelism differs between
+    baseline and current run (e.g. a 1-core dev box vs a 4-vCPU CI
+    runner), the relative ratio is meaningless, so a parallel current
+    run is held to the pinned ``min_speedup`` floor alone, and a serial
+    current run is not ratio-gated at all (the checksum equivalence
+    inside the bench still ran).
     """
     baseline_dir = Path(baseline_dir)
     failures: List[str] = []
@@ -802,10 +925,26 @@ def check_against_baseline(
             if current is None:
                 failures.append(f"{bench}: missing from current run")
                 continue
-            floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
             min_speedup = entry.get("min_speedup")
-            if min_speedup is not None:
-                floor = max(floor, min_speedup)
+            workers = entry.get("parallel_workers", 0)
+            baseline_parallel = bool(
+                workers and entry.get("cores", 0) >= workers
+            )
+            current_parallel = bool(
+                workers and current.get("cores", 0) >= workers
+            )
+            if workers and baseline_parallel != current_parallel:
+                if not current_parallel:
+                    continue  # serial machine: ratio floor unenforceable
+                floor = min_speedup
+                if floor is None:
+                    continue
+            else:
+                floor = entry["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+                if min_speedup is not None and (
+                    not workers or current_parallel
+                ):
+                    floor = max(floor, min_speedup)
             if current["speedup"] < floor:
                 failures.append(
                     f"{bench}: speedup {current['speedup']:.2f}x below "
@@ -814,6 +953,100 @@ def check_against_baseline(
                     f"{REGRESSION_TOLERANCE:.0%})"
                 )
     return failures
+
+
+def render_spec_listing(specs: Optional[List[BenchSpec]] = None) -> str:
+    """The ``--list`` view: suites, bench ids, pinned targets/floors.
+
+    Also printed alongside the unknown-suite error so a typo shows the
+    valid ids and what each would have gated.
+    """
+    if specs is None:
+        specs = build_specs()
+    by_suite: Dict[str, List[BenchSpec]] = {}
+    for spec in specs:
+        by_suite.setdefault(spec.suite, []).append(spec)
+    lines = ["perf suites and pinned benches:"]
+    for suite in sorted(by_suite):
+        lines.append(f"  {suite}")
+        width = max(len(spec.name) for spec in by_suite[suite]) + 2
+        for spec in by_suite[suite]:
+            gates = []
+            if spec.target_speedup is not None:
+                floor = spec.target_speedup * (1.0 - REGRESSION_TOLERANCE)
+                gates.append(
+                    f"target {spec.target_speedup:.1f}x, "
+                    f"floor {floor:.2f}x"
+                )
+            if spec.parallel_workers:
+                gates.append(f"{spec.parallel_workers} workers")
+            if not spec.exact:
+                gates.append("checksum 1e-9 rel")
+            suffix = f"[{'; '.join(gates)}]" if gates else ""
+            lines.append(f"    {spec.name:<{width}}{suffix}".rstrip())
+    return "\n".join(lines)
+
+
+def _git_rev() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def default_history_path() -> Path:
+    """``benchmarks/BENCH_history.jsonl`` next to the source checkout.
+
+    Falls back to ``benchmarks/`` under the current directory when the
+    package does not live in a source tree (installed wheel).
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    benchmarks = repo_root / "benchmarks"
+    if not benchmarks.is_dir():
+        benchmarks = Path("benchmarks")
+    return benchmarks / "BENCH_history.jsonl"
+
+
+def append_history(
+    suites: Dict[str, Dict[str, Any]], history_path: Path
+) -> Path:
+    """Append one timestamped speedup record per run (one JSON line).
+
+    The history file is an append-only flight recorder: every
+    ``python -m repro perf`` invocation logs when it ran, on what
+    revision, and every bench's speedup ratio, so drift between the
+    committed baselines is reconstructable after the fact.
+    """
+    from datetime import datetime, timezone
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_rev": _git_rev(),
+        "quick": any(r.get("quick") for r in suites.values()),
+        "rounds": {name: r["rounds"] for name, r in sorted(suites.items())},
+        "speedups": {
+            name: {
+                bench: entry["speedup"]
+                for bench, entry in sorted(results["benches"].items())
+            }
+            for name, results in sorted(suites.items())
+        },
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return history_path
 
 
 def render_results(suites: Dict[str, Dict[str, Any]]) -> str:
@@ -844,8 +1077,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="pinned engine/flow-solver perf microbenches",
     )
     parser.add_argument("suites", nargs="*", metavar="SUITE",
-                        help="suite ids to run (engine, models, network); "
-                             "default: all suites")
+                        help="suite ids to run (engine, models, network, "
+                             "sharded); default: all suites")
+    parser.add_argument("--list", action="store_true", dest="list_specs",
+                        help="list suites, bench ids and pinned "
+                             "targets/floors, then exit")
     parser.add_argument("--out-dir", default=".",
                         help="where to write BENCH_*.json (default: .)")
     parser.add_argument("--rounds", type=int, default=3,
@@ -857,7 +1093,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="flow-workload seed offset (CLI convention "
                              "shared with `repro run`; default: 0)")
+    parser.add_argument("--history-file", default=None, metavar="PATH",
+                        help="append-only speedup log (default: "
+                             "benchmarks/BENCH_history.jsonl; 'none' "
+                             "disables)")
     args = parser.parse_args(argv)
+
+    if args.list_specs:
+        print(render_spec_listing())
+        return 0
 
     try:
         suites = run_suites(
@@ -866,12 +1110,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except ModelError as error:
         # Same helpful-failure pattern as `repro trace`: a misspelled
-        # suite id must not exit 0 having silently run nothing.
+        # suite id must not exit 0 having silently run nothing -- and
+        # the listing shows what the valid ids would have gated.
         print(f"error: {error}", file=sys.stderr)
+        print(render_spec_listing(), file=sys.stderr)
         return 2
     print(render_results(suites))
     for path in write_results(suites, Path(args.out_dir)):
         print(f"wrote {path}")
+    if args.history_file != "none":
+        history = (
+            Path(args.history_file) if args.history_file
+            else default_history_path()
+        )
+        try:
+            print(f"history appended to {append_history(suites, history)}")
+        except OSError as error:  # pragma: no cover - read-only checkout
+            print(f"warning: could not append history: {error}",
+                  file=sys.stderr)
     if args.check is not None:
         failures = check_against_baseline(suites, Path(args.check))
         if failures:

@@ -156,6 +156,52 @@ def _trace_e11(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     return headline
 
 
+def _trace_x11(observability: Observability, seed: int = 0) -> Dict[str, Any]:
+    """X11: incremental max-min repair under faults (repair counters)."""
+    from repro import units
+    from repro.network import fat_tree
+    from repro.network.flows import Flow, IncrementalMaxMinSolver
+
+    fabric = fat_tree(4)
+    hosts = fabric.hosts
+    half = len(hosts) // 2
+    flows = [
+        Flow(
+            i,
+            hosts[(i + seed) % half],
+            hosts[half + (2 * i + seed) % half],
+            100 * units.MB,
+        )
+        for i in range(12)
+    ]
+    solver = IncrementalMaxMinSolver(
+        fabric, flows, registry=observability.registry
+    )
+    schedule = (
+        ("fail_link", ("agg0-0", "core0-0")),
+        ("fail_link", ("tor0-0", "agg0-1")),
+        ("restore_link", ("agg0-0", "core0-0")),
+        ("fail_node", ("agg1-0",)),
+        ("restore_link", ("tor0-0", "agg0-1")),
+        ("restore_node", ("agg1-0",)),
+    )
+    clock = 0.0
+    for op, args in schedule:
+        getattr(solver, op)(*args)
+        observability.spans.record(
+            f"flows.{op}", clock, clock + 1.0,
+            tags={"subsystem": "network.flows", "target": "--".join(args)},
+        )
+        clock += 1.0
+    total_rate = sum(solver.allocations.values())
+    return {
+        "flows": len(flows),
+        "full_solves": solver.full_solves,
+        "incremental_repairs": solver.incremental_repairs,
+        "total_rate_gbytes_per_s": total_rate / units.GB,
+    }
+
+
 def _trace_x2(observability: Observability, seed: int = 0) -> Dict[str, Any]:
     """X2: online allocation policies (task spans + completion histograms)."""
     from repro.node import arria10_fpga, nvidia_k80, xeon_e5
@@ -228,6 +274,7 @@ TRACE_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "E11": _trace_e11,
     "X2": _trace_x2,
     "X7": _trace_x7,
+    "X11": _trace_x11,
 }
 
 

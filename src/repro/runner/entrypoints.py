@@ -47,6 +47,7 @@ QUICK_CONFIGS: Dict[str, Dict[str, Any]] = {
     "E15": {},
     "E16": {},
     "X12": {"n_requests": 600, "n_reads": 400, "n_jobs": 10},
+    "X14": {"k": 8, "n_requests": 8_000, "duration_s": 2e-3, "shards": 2},
 }
 
 
@@ -622,3 +623,91 @@ def run_x12(config: Mapping[str, Any], seed: int) -> RunResult:
         seed=seed,
     )
     return _result("X12", seed, cfg, metrics)
+
+
+def run_x14(config: Mapping[str, Any], seed: int) -> RunResult:
+    """X14: 10k-switch fabric transport, sharded conservative-time DES.
+
+    The flagship scale exhibit: a k=90 fat-tree (10,125 switches,
+    182,250 hosts) carrying a million-request transport workload under a
+    fault schedule, simulated across ``shards`` worker processes by
+    :func:`repro.workloads.fabricsim.simulate_fabric_sharded`. With
+    ``shards=1`` the same workload runs on the true single-process
+    engine, and the merged trace is bit-for-bit identical either way --
+    set ``trace_out`` to write the canonical trace for a byte-level
+    comparison (the CI equivalence step).
+    """
+    from pathlib import Path
+
+    from repro.engine.faults import FaultSpec
+    from repro.engine.sharded import canonical_trace_lines
+    from repro.workloads.fabricsim import (
+        FabricWorkload,
+        simulate_fabric,
+        simulate_fabric_sharded,
+    )
+
+    cfg = _merge(
+        {
+            "fabric": "fat-tree",
+            "k": 90,
+            "n_requests": 1_000_000,
+            "duration_s": 4e-3,
+            "shards": 4,
+            "inline": False,
+            "with_faults": True,
+            "trace_out": "",
+        },
+        config,
+    )
+    duration = float(cfg["duration_s"])
+    fault_specs = ()
+    if cfg["with_faults"]:
+        # Targets chosen to exist for every even k >= 4 (quick runs use
+        # k=8), including links on the pod-aligned boundary cut so the
+        # cross-shard invalidation path is always exercised.
+        fault_specs = (
+            FaultSpec(
+                kind="link-flap",
+                targets=(("agg0-0", "core0-0"), ("agg1-1", "core1-0")),
+                mtbf_s=duration / 3.0,
+                mttr_s=duration / 4.0,
+                end_s=duration,
+            ),
+            FaultSpec(
+                kind="switch-crash",
+                targets=("agg2-0",),
+                mtbf_s=duration / 2.0,
+                mttr_s=duration / 3.0,
+                end_s=duration,
+            ),
+        )
+    workload = FabricWorkload(
+        fabric=cfg["fabric"],
+        k=cfg["k"],
+        n_requests=cfg["n_requests"],
+        duration_s=duration,
+        seed=101_250 + seed,
+        fault_specs=fault_specs,
+    )
+    shards = int(cfg["shards"])
+    if shards == 1:
+        run = simulate_fabric(workload)
+    else:
+        run = simulate_fabric_sharded(
+            workload, shards, inline=bool(cfg["inline"])
+        )
+    if cfg["trace_out"]:
+        out_path = Path(cfg["trace_out"])
+        if out_path.parent != Path("."):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        with out_path.open("w") as handle:
+            handle.writelines(canonical_trace_lines(run.records))
+    metrics: Dict[str, Any] = dict(run.metrics)
+    metrics["engine"] = run.diagnostics["engine"]
+    metrics["switches"] = run.diagnostics["switches"]
+    metrics["hosts"] = run.diagnostics["hosts"]
+    for key in ("shards", "rounds", "boundary_events", "lookahead_us"):
+        if key in run.diagnostics:
+            metrics[key] = run.diagnostics[key]
+    return _result("X14", seed, cfg, metrics)

@@ -20,6 +20,12 @@ from repro.workloads.edge import (
     best_placement,
     evaluate_placements,
 )
+from repro.workloads.fabricsim import (
+    FabricRunResult,
+    FabricWorkload,
+    simulate_fabric,
+    simulate_fabric_sharded,
+)
 from repro.workloads.generator import (
     clickstream,
     gaussian_blobs,
@@ -53,6 +59,8 @@ __all__ = [
     "BenchmarkDefinition",
     "BenchmarkScore",
     "EdgeScenario",
+    "FabricRunResult",
+    "FabricWorkload",
     "PlacementReport",
     "SearchRunResult",
     "SearchServiceConfig",
@@ -76,6 +84,8 @@ __all__ = [
     "sales_table",
     "science_events",
     "sensor_readings",
+    "simulate_fabric",
+    "simulate_fabric_sharded",
     "standard_suite",
     "tail_latency_reduction",
     "web_graph",

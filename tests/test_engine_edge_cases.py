@@ -364,3 +364,236 @@ class TestStoreEdgeCases:
         sim.spawn(waiter(sim))
         sim.run()
         assert caught == ["early failure"]
+
+
+class TestTwoTierCalendarEdges:
+    """Remaining edges of the array-backed two-tier event calendar.
+
+    The calendar keeps a sorted in-place-consumed ``_near`` segment and
+    an unsorted ``_far`` overflow whose minimum is tracked in
+    ``_far_min``. These tests pin the overflow-min bookkeeping across
+    refill cycles, the consumed-prefix compaction under sustained
+    near-horizon insertion, and calendar behaviour under mass
+    cancellation -- all through observable behaviour (``peek``, firing
+    order, final clock), with white-box asserts only where the edge is
+    otherwise invisible.
+    """
+
+    def test_far_min_tracks_minimum_across_refills(self):
+        sim = Simulator()
+        fired = []
+        # Descending far-future times: every push lands in the unsorted
+        # overflow and each one lowers the tracked minimum.
+        for when in (50.0, 40.0, 30.0, 20.0, 10.0):
+            sim.timeout(when).add_callback(
+                lambda e, w=when: fired.append(w)
+            )
+        assert sim.peek() == 10.0
+        # Consume through the first refill, then schedule more far
+        # entries: _far_min must restart from inf, not stay stale.
+        sim.run(until=25.0)
+        assert fired == [10.0, 20.0]
+        for when in (9.0, 8.0):  # below the horizon -> live insort
+            sim.timeout(when).add_callback(
+                lambda e, w=when: fired.append(25.0 + w)
+            )
+        assert sim.peek() == 30.0  # near head still ahead of 33/34
+        sim.run()
+        assert fired == [10.0, 20.0, 30.0, 33.0, 34.0, 40.0, 50.0]
+        assert sim.peek() is None
+
+    def test_far_min_resets_after_full_drain(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.peek() is None
+        # A fresh schedule after a complete drain must re-prime the
+        # overflow minimum from scratch.
+        sim.timeout(2.0)
+        assert sim.peek() == 7.0
+
+    def test_consumed_prefix_compaction_under_chained_insertion(self):
+        # A sentinel far in the future pins the horizon high, so every
+        # chained timeout insorts into the live near segment and the
+        # consumed prefix grows past the 4096-entry shear threshold.
+        sim = Simulator()
+        n_chain = 9_000
+        fired = []
+        sim.timeout(1e9, "sentinel").add_callback(
+            lambda e: fired.append(e.value)
+        )
+        sim.run(until=0.0)  # force the refill that sets the horizon
+
+        def chain(sim):
+            for _ in range(n_chain):
+                yield sim.timeout(1.0)
+            fired.append(sim.now)
+
+        sim.spawn(chain(sim))
+        sim.run()
+        assert fired == [float(n_chain), "sentinel"]
+        # The shear fired: the consumed prefix was cut, so the near
+        # array never accumulates the whole chain's dead entries.
+        assert len(sim._near) < n_chain
+        assert sim._head <= len(sim._near)
+
+    def test_mass_cancellation_keeps_calendar_consistent(self):
+        # Cancellation is a pruning hint, not an unschedule: cancelled
+        # timeouts still pop (and still count), the calendar stays
+        # totally ordered, and survivors fire at the right times.
+        sim = Simulator()
+        doomed = [sim.timeout(float(i)) for i in range(1, 2_001)]
+        survivor_times = []
+        for when in (500.5, 1500.5, 2500.5):
+            sim.timeout(when).add_callback(
+                lambda e, w=when: survivor_times.append((sim.now, w))
+            )
+        for evt in doomed:
+            evt.cancel()
+        assert all(evt.cancelled for evt in doomed)
+        sim.run()
+        assert survivor_times == [(500.5, 500.5), (1500.5, 1500.5),
+                                  (2500.5, 2500.5)]
+        assert sim.now == 2500.5
+        assert all(evt.triggered for evt in doomed)
+        # 2000 cancelled + 3 survivors popped, plus callback entries.
+        assert sim.events_processed >= 2_003
+
+    def test_mass_cancellation_interleaved_with_refills(self):
+        sim = Simulator()
+        log = []
+
+        def canceller(sim):
+            # Repeatedly schedule a far batch, cancel most of it while
+            # it is still in the unsorted overflow, and let the rest
+            # fire -- every round crosses a refill boundary.
+            for round_no in range(5):
+                batch = [sim.timeout(10.0 + i * 0.25) for i in range(40)]
+                for evt in batch[1:]:
+                    evt.cancel()
+                value = yield batch[0]
+                log.append((round_no, sim.now, value))
+
+        sim.spawn(canceller(sim))
+        sim.run()
+        assert [entry[0] for entry in log] == list(range(5))
+        assert [entry[1] for entry in log] == [
+            10.0 + 10.0 * i for i in range(5)
+        ]
+
+
+class TestCalendarProperties:
+    """Property-based: random schedules against the total-order model.
+
+    The calendar's contract is a stable total order on ``(when,
+    schedule-sequence)`` regardless of how entries split between the
+    sorted near segment and the unsorted overflow, where ``run(until)``
+    horizons land, or which events get cancelled.
+    """
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _delays = st.lists(
+        st.floats(min_value=0.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=80,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(delays=_delays, split=st.floats(min_value=0.0, max_value=60.0))
+    def test_random_schedules_fire_in_total_order(self, delays, split):
+        sim = Simulator()
+        fired = []
+        for idx, delay in enumerate(delays):
+            sim.timeout(delay).add_callback(
+                lambda e, i=idx: fired.append((sim.now, i))
+            )
+        # run(until) is inclusive of events at exactly `until`.
+        sim.run(until=split)
+        assert fired == sorted(
+            ((d, i) for i, d in enumerate(delays) if d <= split)
+        )
+        assert sim.now == max(split, sim.now)
+        sim.run()
+        assert fired == sorted((d, i) for i, d in enumerate(delays))
+        assert sim.peek() is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=_delays,
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=80),
+    )
+    def test_cancellation_never_perturbs_survivor_order(
+        self, delays, cancel_mask
+    ):
+        sim = Simulator()
+        fired = []
+        events = []
+        for idx, delay in enumerate(delays):
+            evt = sim.timeout(delay)
+            evt.add_callback(lambda e, i=idx: fired.append((sim.now, i)))
+            events.append(evt)
+        cancelled = {
+            idx for idx, (evt, flag) in enumerate(zip(events, cancel_mask))
+            if flag and evt.cancel() is None and evt.cancelled
+        }
+        sim.run()
+        # Cancellation is a pruning hint: every entry still pops and
+        # every callback still runs, in the identical total order.
+        assert fired == sorted((d, i) for i, d in enumerate(delays))
+        assert all(events[idx].triggered for idx in cancelled)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_ops=st.integers(min_value=1, max_value=60),
+    )
+    def test_nested_scheduling_matches_heap_model(self, seed, n_ops):
+        import heapq
+        import random as _random
+
+        rng = _random.Random(seed)
+        plan = [
+            (rng.uniform(0.0, 8.0), rng.randint(0, 2), rng.uniform(0.0, 8.0))
+            for _ in range(n_ops)
+        ]
+
+        # Reference model: a plain heap ordered by (when, seq), where
+        # firing op i schedules its children relative to its own time.
+        model_fired = []
+        heap = []
+        seq = 0
+        for delay, _, _ in plan:
+            heapq.heappush(heap, (delay, seq))
+            seq += 1
+        while heap:
+            when, idx = heapq.heappop(heap)
+            model_fired.append((when, idx))
+            if idx < len(plan):
+                _, n_children, child_delay = plan[idx]
+                for _ in range(n_children):
+                    heapq.heappush(heap, (when + child_delay, seq))
+                    seq += 1
+
+        sim = Simulator()
+        fired = []
+        counter = {"seq": len(plan)}
+
+        def on_fire(idx, n_children, child_delay):
+            def callback(_evt):
+                fired.append((sim.now, idx))
+                for _ in range(n_children):
+                    child_idx = counter["seq"]
+                    counter["seq"] += 1
+                    sim.timeout(child_delay).add_callback(
+                        lambda e, i=child_idx: fired.append((sim.now, i))
+                    )
+            return callback
+
+        for idx, (delay, n_children, child_delay) in enumerate(plan):
+            sim.timeout(delay).add_callback(
+                on_fire(idx, n_children, child_delay)
+            )
+        sim.run()
+        assert fired == model_fired

@@ -100,7 +100,7 @@ class TestCli:
         assert main(["summary"]) == 0
         out = capsys.readouterr().out
         assert "rethinkbig" in out
-        assert "experiments: 29" in out
+        assert "experiments: 31" in out
 
     def test_findings(self, capsys):
         assert main(["findings"]) == 0

@@ -37,6 +37,9 @@ EXPECTED_BENCHES = {
         "mc_commodity_year", "roi_npv_sweep", "soc_sip_unit_costs",
         "market_concentration", "adoption_paths", "survey_theme_stats",
     },
+    "sharded": {
+        "sharded_fabric_4w", "sharded_window_protocol",
+    },
 }
 
 
@@ -76,6 +79,18 @@ class TestSuiteSchema:
         assert targets["roi_npv_sweep"] == 10.0
         assert targets["survey_theme_stats"] == 5.0
         assert targets["incremental_flow_repair"] == 10.0
+        assert targets["sharded_fabric_4w"] == 3.0
+
+    def test_sharded_bench_declares_workers(self):
+        specs = {spec.name: spec for spec in build_specs()}
+        assert specs["sharded_fabric_4w"].parallel_workers == 4
+        # The protocol-overhead bench is single-process by design.
+        assert specs["sharded_window_protocol"].parallel_workers == 0
+
+    def test_parallel_bench_records_cores(self, quick_suites):
+        entry = quick_suites["sharded"]["benches"]["sharded_fabric_4w"]
+        assert entry["parallel_workers"] >= 2
+        assert entry["cores"] >= 1
 
     def test_rejects_bad_rounds(self):
         with pytest.raises(ModelError):
@@ -116,6 +131,7 @@ class TestWriteAndCheck:
         paths = write_results(quick_suites, tmp_path)
         assert [p.name for p in paths] == [
             "BENCH_engine.json", "BENCH_models.json", "BENCH_network.json",
+            "BENCH_sharded.json",
         ]
         loaded = json.loads(paths[0].read_text())
         assert loaded["suite"] == "engine"
@@ -166,6 +182,125 @@ class TestWriteAndCheck:
         write_results(floored, tmp_path)
         failures = check_against_baseline(quick_suites, tmp_path)
         assert any("event_churn" in f for f in failures)
+
+
+def _parallel_suite(speedup, cores, min_speedup=2.25, workers=4):
+    return {
+        "sharded": {
+            "suite": "sharded", "rounds": 1, "quick": False,
+            "benches": {
+                "sharded_fabric_4w": {
+                    "description": "x", "rounds": 1,
+                    "reference_median_s": 1.0,
+                    "candidate_median_s": 1.0 / speedup,
+                    "speedup": speedup,
+                    "target_speedup": 3.0,
+                    "min_speedup": min_speedup,
+                    "parallel_workers": workers,
+                    "cores": cores,
+                },
+            },
+        },
+    }
+
+
+class TestParallelAwareGate:
+    """A 4-worker ratio target only binds on machines with 4+ cores."""
+
+    def test_serial_run_vs_parallel_baseline_is_skipped(self, tmp_path):
+        # Baseline from a 4-core CI runner, current run on a 1-core
+        # box: the ratio is unreachable, so the bench is not gated.
+        write_results(_parallel_suite(3.2, cores=4), tmp_path)
+        current = _parallel_suite(0.5, cores=1)
+        assert check_against_baseline(current, tmp_path) == []
+
+    def test_parallel_run_vs_serial_baseline_uses_pinned_floor(
+        self, tmp_path
+    ):
+        # Baseline from a 1-core dev box (speedup ~0.5), current run on
+        # 4 cores: the relative ratio is meaningless, the pinned floor
+        # is what binds -- and it still trips.
+        write_results(_parallel_suite(0.5, cores=1), tmp_path)
+        passing = _parallel_suite(2.5, cores=4)
+        assert check_against_baseline(passing, tmp_path) == []
+        failing = _parallel_suite(1.5, cores=4)
+        failures = check_against_baseline(failing, tmp_path)
+        assert failures and "sharded_fabric_4w" in failures[0]
+
+    def test_parallel_vs_parallel_keeps_ratio_and_floor(self, tmp_path):
+        write_results(_parallel_suite(4.0, cores=4), tmp_path)
+        # Within tolerance of the 4.0x baseline and above the floor.
+        assert check_against_baseline(
+            _parallel_suite(3.1, cores=4), tmp_path
+        ) == []
+        # Above the floor but >25% below the baseline ratio: regression.
+        failures = check_against_baseline(
+            _parallel_suite(2.6, cores=4), tmp_path
+        )
+        assert failures and "below floor" in failures[0]
+
+    def test_serial_vs_serial_compares_ratio_without_floor(self, tmp_path):
+        # Two 1-core machines: the ratio comparison still applies, but
+        # the parallel floor (2.25x) must not -- 0.5x vs 0.5x is fine.
+        write_results(_parallel_suite(0.5, cores=1), tmp_path)
+        assert check_against_baseline(
+            _parallel_suite(0.45, cores=1), tmp_path
+        ) == []
+
+
+class TestListingAndHistory:
+    def test_listing_names_every_bench_and_floor(self):
+        from repro.perf import render_spec_listing
+
+        text = render_spec_listing()
+        for names in EXPECTED_BENCHES.values():
+            for name in names:
+                assert name in text
+        assert "floor 2.25x" in text
+        assert "4 workers" in text
+
+    def test_cli_list_exits_zero(self, capsys):
+        from repro.perf import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded_fabric_4w" in out and "event_churn" in out
+
+    def test_cli_unknown_suite_prints_listing(self, capsys):
+        from repro.perf import main
+
+        assert main(["bogus", "--quick", "--rounds", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown perf suite" in err
+        assert "sharded_fabric_4w" in err  # the listing rides along
+
+    def test_append_history_schema(self, quick_suites, tmp_path):
+        from repro.perf import append_history
+
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(quick_suites, path)
+        append_history(quick_suites, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["quick"] is True
+        assert set(record["speedups"]) == set(EXPECTED_BENCHES)
+        for suite, names in EXPECTED_BENCHES.items():
+            assert set(record["speedups"][suite]) == names
+        assert "timestamp" in record and "git_rev" in record
+
+    def test_cli_run_appends_history(self, tmp_path, capsys):
+        from repro.perf import main
+
+        history = tmp_path / "hist.jsonl"
+        rc = main([
+            "engine", "--quick", "--rounds", "1",
+            "--out-dir", str(tmp_path),
+            "--history-file", str(history),
+        ])
+        assert rc == 0
+        record = json.loads(history.read_text().splitlines()[-1])
+        assert "event_churn" in record["speedups"]["engine"]
 
 
 class TestChecksumVerification:
