@@ -13,6 +13,12 @@ submodules:
 - :func:`run_experiment` / :func:`run_grid` -- execute registered
   experiments (one inline, or a parallel cached sweep) to
   :class:`RunResult` records; from :mod:`repro.runner`.
+- :class:`JobSpec` / :class:`SubmitRequest` / :class:`JobResult` and
+  :func:`execute_job` -- the versioned job contract and the one
+  execution path behind library, CLI and service submissions; from
+  :mod:`repro.service` and :mod:`repro.runner`.
+- :class:`ServiceClient` -- HTTP/WebSocket client for a running
+  ``python -m repro serve`` instance; from :mod:`repro.client`.
 - :data:`EXPERIMENTS` / :func:`get_experiment` -- the experiment
   registry; from :mod:`repro.reporting`.
 - :func:`run_trace` -- one instrumented experiment run;
@@ -50,11 +56,13 @@ The full surface lives in the subpackages:
 - :mod:`repro.ecosystem` -- actor/initiative graph and market analysis.
 - :mod:`repro.reporting` -- tables, the experiment registry, trace runs.
 - :mod:`repro.runner` -- the parallel experiment runner with caching.
+- :mod:`repro.service` -- the async job service and its wire schema.
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 from repro import mc
+from repro.client import ServiceClient
 from repro.core import build_roadmap
 from repro.engine import (
     FaultInjector,
@@ -80,10 +88,12 @@ from repro.reporting import (
 from repro.runner import (
     GridResult,
     RunResult,
+    execute_job,
     run_experiment,
     run_grid,
     runnable_experiments,
 )
+from repro.service import JobResult, JobSpec, SubmitRequest
 from repro.survey import generate_corpus
 from repro.workloads import simulate_fabric, simulate_fabric_sharded
 
@@ -93,14 +103,19 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "GridResult",
+    "JobResult",
+    "JobSpec",
     "Observability",
     "RandomStream",
     "RetryPolicy",
     "RunResult",
+    "ServiceClient",
     "ShardedSimulation",
     "Simulator",
+    "SubmitRequest",
     "__version__",
     "build_roadmap",
+    "execute_job",
     "generate_corpus",
     "get_experiment",
     "hedge",

@@ -13,6 +13,17 @@ Commands:
   ``--retries``, ``--quick``, ``--set KEY=VALUE``.
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
+- ``serve``        -- start the experiment service: an asyncio HTTP +
+  WebSocket server accepting job submissions, with admission control,
+  request coalescing and the shared result cache. Options: ``--host``,
+  ``--port``, ``--jobs``, ``--cache-dir``, ``--no-cache``,
+  ``--max-pending``, ``--max-active``, ``--per-client``.
+- ``submit``       -- submit an experiment grid to a running service
+  and write the returned ``results.json`` (byte-identical to a local
+  ``run`` of the same grid). Options: ``--server``, ``--seeds``,
+  ``--set``, ``--quick``, ``--timeout-s``, ``--retries``,
+  ``--out-dir``, ``--events-out``, ``--client-id``, ``--no-cache``,
+  ``--wait-s``.
 - ``perf``         -- run the pinned perf microbenches (production
   kernel vs frozen pre-fast-path reference, plus the sharded engine vs
   the sequential one); write ``BENCH_engine.json``, ``BENCH_models.json``,
@@ -22,12 +33,14 @@ Commands:
   run; ``--list`` prints every suite/bench with its pinned floors; an
   unknown id is an error printing that same listing, like ``trace``.
 
-The ``run``, ``trace`` and ``perf`` commands share argument
-conventions: experiments and suites resolve through a registry (so
-misspelled ids list the valid set), artifacts land in ``--out-dir``
-(default: the working directory) and randomness is controlled by
-``--seed`` / ``--seeds``. ``trace --out PATH`` remains as a deprecated alias for
-one release.
+The commands share argument conventions: experiments and suites resolve
+through a registry (so misspelled ids list the valid set), artifacts
+land in ``--out-dir`` (default: the working directory) and randomness
+is controlled by ``--seed`` / ``--seeds``. Every subcommand ends with a
+one-line schema-versioned JSON summary on success (the last stdout
+line), so scripts can consume CLI outcomes without scraping tables.
+The deprecated ``trace --out`` alias (announced for removal) is gone;
+use ``--out-dir``.
 """
 
 from __future__ import annotations
@@ -36,6 +49,15 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def _emit_summary(command: str, **fields) -> None:
+    """Print the one-line schema-versioned JSON summary (last line)."""
+    from repro.service.schema import SCHEMA_VERSION
+
+    payload = {"schema_version": SCHEMA_VERSION, "command": command}
+    payload.update(fields)
+    print(json.dumps(payload, sort_keys=True), flush=True)
 
 
 def _cmd_summary() -> int:
@@ -48,7 +70,7 @@ def _cmd_summary() -> int:
     packages = (
         "engine", "econ", "network", "node", "cluster", "frameworks",
         "scheduler", "analytics", "workloads", "survey", "core",
-        "ecosystem", "mc", "reporting", "runner",
+        "ecosystem", "mc", "reporting", "runner", "service",
     )
     print(f"subpackages ({len(packages)}): {', '.join(packages)}")
     print(f"experiments: {len(EXPERIMENTS)} "
@@ -56,6 +78,12 @@ def _cmd_summary() -> int:
     runnable = [e.experiment_id for e in EXPERIMENTS if e.runnable]
     print(f"runnable via `python -m repro run` ({len(runnable)}): "
           f"{', '.join(runnable)}")
+    _emit_summary(
+        "summary",
+        version=repro.__version__,
+        experiments=len(EXPERIMENTS),
+        runnable=len(runnable),
+    )
     return 0
 
 
@@ -73,6 +101,12 @@ def _cmd_roadmap() -> int:
                        title="recommendations, priority-ranked"))
     print(f"funded under {roadmap.portfolio.budget_meur:.0f} MEUR: "
           f"R{roadmap.portfolio.rec_ids}")
+    _emit_summary(
+        "roadmap",
+        findings_hold=roadmap.findings_hold,
+        recommendations=len(roadmap.scored_recommendations),
+        funded=list(roadmap.portfolio.rec_ids),
+    )
     return 0
 
 
@@ -83,10 +117,18 @@ def _cmd_findings() -> int:
     counts = headline_counts(corpus)
     print(f"{counts['n_interviews']} interviews, "
           f"{counts['n_companies']} companies")
-    for finding in key_findings(corpus):
+    findings = key_findings(corpus)
+    for finding in findings:
         status = "HOLDS" if finding.holds else "FAILS"
         print(f"  [{status}] Finding {finding.finding_id}: "
               f"{finding.statement}")
+    _emit_summary(
+        "findings",
+        n_interviews=counts["n_interviews"],
+        n_companies=counts["n_companies"],
+        holding=sum(1 for f in findings if f.holds),
+        total=len(findings),
+    )
     return 0
 
 
@@ -101,6 +143,12 @@ def _cmd_experiments() -> int:
     print(render_table(
         ["id", "anchor", "claim", "runnable", "traceable"], rows
     ))
+    _emit_summary(
+        "experiments",
+        total=len(EXPERIMENTS),
+        runnable=sum(1 for e in EXPERIMENTS if e.runnable),
+        traceable=sum(1 for e in EXPERIMENTS if e.traceable),
+    )
     return 0
 
 
@@ -163,6 +211,10 @@ def _cmd_run(args) -> int:
     for failure in grid.failures:
         print(f"\nFAILED {failure.experiment_id} seed {failure.seed} "
               f"({failure.status}):\n{failure.error}", file=sys.stderr)
+    _emit_summary(
+        "run", ok=grid.all_ok, n_runs=len(grid), n_ok=grid.n_ok,
+        out=str(out_path), **stats,
+    )
     return 0 if grid.all_ok else 1
 
 
@@ -186,15 +238,112 @@ def _cmd_trace(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_trace_report(report))
-    if args.out is not None:  # deprecated alias wins when given
-        out_path = Path(args.out)
-    else:
-        out_path = Path(args.out_dir) / "trace.jsonl"
+    out_path = Path(args.out_dir) / "trace.jsonl"
     if out_path.parent != Path("."):
         out_path.parent.mkdir(parents=True, exist_ok=True)
     lines = report.write_jsonl(str(out_path))
     print(f"\nwrote {lines} lines to {out_path}")
+    _emit_summary(
+        "trace", experiment=report.experiment_id, seed=args.seed,
+        lines=lines, out=str(out_path),
+    )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import ExperimentService
+
+    service = ExperimentService(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        max_pending=args.max_pending,
+        max_active=args.max_active,
+        per_client=args.per_client,
+    )
+
+    async def body() -> None:
+        host, port = await service.start()
+        from repro.service.schema import SCHEMA_VERSION
+
+        print(json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "command": "serve",
+            "event": "ready",
+            "host": host,
+            "port": port,
+            "url": f"http://{host}:{port}",
+        }, sort_keys=True), flush=True)
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(body())
+    except KeyboardInterrupt:
+        pass
+    snapshot = service.registry.snapshot()
+    counters = {
+        name: int(value)
+        for name, value in snapshot["counters"].items()
+        if name.startswith("service.")
+    }
+    _emit_summary(
+        "serve", host=service.host, port=service.port,
+        jobs_seen=len(service.job_table), **counters,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.client import ServiceClient
+    from repro.errors import ServiceError
+    from repro.runner.results import GridResult
+
+    config = _parse_set_overrides(args.set)
+    client = ServiceClient(
+        args.server, timeout_s=30.0, client_id=args.client_id
+    )
+    try:
+        envelope = client.submit(
+            args.experiments,
+            seeds=args.seeds,
+            overrides=[config] if config else None,
+            quick=args.quick,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            use_cache=not args.no_cache,
+        )
+        job_id = envelope["job_id"]
+        print(f"job {job_id} {envelope['state']} at {client.base_url}")
+        if args.events_out is not None:
+            events_path = Path(args.events_out)
+            if events_path.parent != Path("."):
+                events_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(events_path, "w", encoding="utf-8") as handle:
+                for event in client.stream_events(
+                    job_id, timeout_s=args.wait_s
+                ):
+                    handle.write(json.dumps(event, sort_keys=True) + "\n")
+                    if event.get("type") == "heartbeat":
+                        print(f"  {event.get('message', '')}", flush=True)
+            print(f"wrote event stream to {events_path}")
+        result = client.result(job_id, timeout_s=args.wait_s)
+    except ServiceError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return 2
+
+    grid = GridResult.from_dict(result.document)
+    out_path = grid.write_json(Path(args.out_dir) / "results.json")
+    print(f"wrote {out_path}")
+    _emit_summary(
+        "submit", ok=result.ok, job_id=result.job_id,
+        n_runs=len(grid), n_ok=grid.n_ok, out=str(out_path),
+        **result.stats,
+    )
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,9 +400,66 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--seed", type=int, default=0,
                               help="grid seed (0 reproduces the "
                                    "historical trace)")
-    trace_parser.add_argument("--out", default=None,
-                              help="(deprecated alias) explicit trace "
-                                   "output path")
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the experiment service (HTTP + WebSocket)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="bind port (default: 0, ephemeral; the "
+                                   "ready line prints the bound port)")
+    serve_parser.add_argument("--jobs", type=int, default=1,
+                              help="fork-pool width per grid (default: 1)")
+    serve_parser.add_argument("--cache-dir", default=".repro-cache",
+                              help="result cache directory "
+                                   "(default: .repro-cache)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="recompute everything, store nothing")
+    serve_parser.add_argument("--max-pending", type=int, default=16,
+                              help="admission queue bound (default: 16)")
+    serve_parser.add_argument("--max-active", type=int, default=1,
+                              help="concurrent grids (default: 1)")
+    serve_parser.add_argument("--per-client", type=int, default=4,
+                              help="per-client in-flight cap (default: 4)")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit an experiment grid to a running service"
+    )
+    submit_parser.add_argument(
+        "experiments", nargs="+", metavar="ID",
+        help="experiment ids (e.g. E2 E6) or 'all'",
+    )
+    submit_parser.add_argument("--server", default="http://127.0.0.1:8035",
+                               help="service URL (default: "
+                                    "http://127.0.0.1:8035)")
+    submit_parser.add_argument("--seeds", type=int, default=1,
+                               help="seeds per experiment: 0..K-1 "
+                                    "(default: 1)")
+    submit_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                               help="config override applied to every "
+                                    "experiment (repeatable)")
+    submit_parser.add_argument("--quick", action="store_true",
+                               help="reduced problem sizes (smoke runs)")
+    submit_parser.add_argument("--timeout-s", type=float, default=600.0,
+                               help="per-run wall-clock timeout "
+                                    "(default: 600)")
+    submit_parser.add_argument("--retries", type=int, default=1,
+                               help="re-attempts per failed run (default: 1)")
+    submit_parser.add_argument("--out-dir", default=".",
+                               help="where to write results.json "
+                                    "(default: .)")
+    submit_parser.add_argument("--events-out", default=None, metavar="PATH",
+                               help="stream the job's events (heartbeats, "
+                                    "spans) to this JSONL file")
+    submit_parser.add_argument("--client-id", default="cli",
+                               help="client identity for per-client "
+                                    "admission caps (default: cli)")
+    submit_parser.add_argument("--no-cache", action="store_true",
+                               help="force recompute on the server")
+    submit_parser.add_argument("--wait-s", type=float, default=600.0,
+                               help="how long to wait for the job "
+                                    "(default: 600)")
     return parser
 
 
@@ -271,6 +477,10 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     handlers = {
         "summary": _cmd_summary,
         "roadmap": _cmd_roadmap,

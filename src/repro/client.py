@@ -1,0 +1,294 @@
+"""Blocking client for the experiment service.
+
+:class:`ServiceClient` speaks the versioned wire contract defined in
+:mod:`repro.service.schema` against a running ``python -m repro serve``
+instance (or an in-process :func:`repro.service.serve_in_thread`
+handle). It is deliberately stdlib-only -- ``http.client`` for the
+JSON endpoints, a raw socket for the WebSocket event stream -- so any
+environment that can import :mod:`repro` can drive a remote service.
+
+The headline call is :meth:`ServiceClient.submit_and_wait`: build a
+:class:`~repro.service.schema.JobSpec`, submit it, wait for the
+terminal state, and return the :class:`~repro.service.schema.JobResult`
+whose ``document`` serializes byte-identically to a local ``repro run``
+of the same grid.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ServiceError
+from repro.service import wire
+from repro.service.schema import (
+    JobResult,
+    JobSpec,
+    SubmitRequest,
+    envelope_error,
+)
+
+
+class ServiceClient:
+    """Typed access to one experiment service at ``base_url``.
+
+    ``timeout_s`` bounds each HTTP round trip (not whole jobs -- waiting
+    for a job polls with bounded requests). Raises
+    :class:`~repro.errors.ServiceError` for error envelopes the server
+    returns and for transport failures (``code="connection"``).
+    """
+
+    def __init__(
+        self, base_url: str, timeout_s: float = 30.0,
+        client_id: str = "client",
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(
+                f"unsupported scheme {parsed.scheme!r} (http only)",
+                code="bad-request",
+            )
+        netloc = parsed.netloc or parsed.path
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 80
+        self.timeout_s = timeout_s
+        self.client_id = client_id
+
+    @property
+    def base_url(self) -> str:
+        """The service root this client talks to."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            status = response.status
+            text = response.read().decode("utf-8", errors="replace")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc}", code="connection"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(text) if text.strip() else {}
+        except ValueError as exc:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response ({status})",
+                code="connection", status=status,
+            ) from exc
+        if status >= 400 or "error" in decoded:
+            raise envelope_error(decoded, status=status)
+        return decoded
+
+    # -- service endpoints -------------------------------------------------
+
+    def meta(self) -> Dict[str, Any]:
+        """Service metadata: schema/library version, runnable experiments."""
+        return self._request("GET", "/v1/meta")
+
+    def health(self) -> Dict[str, Any]:
+        """The liveness envelope (``status``, ``accepting``)."""
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics-registry snapshot."""
+        return self._request("GET", "/v1/metrics")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Status envelopes for every job the server knows."""
+        return list(self._request("GET", "/v1/jobs").get("jobs", []))
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """One job's status envelope (embeds the result when done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's event backlog via plain GET (no streaming)."""
+        return list(
+            self._request("GET", f"/v1/jobs/{job_id}/events")
+            .get("events", [])
+        )
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain in-flight jobs and stop."""
+        return self._request("POST", "/v1/shutdown")
+
+    def wait_until_ready(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Poll ``/v1/healthz`` until the service answers, then return it."""
+        deadline = time.monotonic() + timeout_s
+        last: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except ServiceError as exc:
+                last = exc
+                time.sleep(0.1)
+        raise ServiceError(
+            f"service at {self.base_url} not ready after {timeout_s}s: "
+            f"{last}", code="connection",
+        )
+
+    # -- job submission ----------------------------------------------------
+
+    def submit_request(self, request: SubmitRequest) -> Dict[str, Any]:
+        """Submit a prebuilt request; returns the job's status envelope."""
+        return self._request("POST", "/v1/jobs", request.to_dict())
+
+    def submit(
+        self,
+        experiments: "str | Iterable[str]",
+        seeds: "int | Iterable[int]" = 1,
+        overrides: Optional[Iterable[Dict[str, Any]]] = None,
+        quick: bool = False,
+        timeout_s: Optional[float] = 600.0,
+        retries: int = 1,
+        use_cache: bool = True,
+    ) -> Dict[str, Any]:
+        """Build and submit a :class:`JobSpec`; returns the job envelope.
+
+        ``experiments`` / ``seeds`` follow :func:`repro.run_grid`
+        conventions (``"all"`` expands, an int is a seed count).
+        """
+        if isinstance(experiments, str):
+            experiments = [experiments]
+        if isinstance(seeds, int):
+            seeds = range(seeds)
+        spec = JobSpec(
+            experiments=tuple(experiments),
+            seeds=tuple(int(s) for s in seeds),
+            overrides=tuple(dict(o) for o in overrides or []) or ({},),
+            quick=quick,
+            timeout_s=timeout_s,
+            retries=retries,
+        )
+        return self.submit_request(SubmitRequest(
+            job=spec, client_id=self.client_id, use_cache=use_cache
+        ))
+
+    def wait(
+        self, job_id: str, timeout_s: float = 600.0,
+        poll_interval_s: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final envelope."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            envelope = self.job(job_id)
+            if envelope.get("state") in ("done", "failed"):
+                return envelope
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {envelope.get('state')!r} after "
+                    f"{timeout_s}s", code="timeout",
+                )
+            time.sleep(poll_interval_s)
+
+    def result(self, job_id: str, timeout_s: float = 600.0) -> JobResult:
+        """Wait for the job and decode its :class:`JobResult`.
+
+        A ``failed`` job with no result document (the grid never ran)
+        raises; a ``failed`` job *with* a document returns it, so
+        callers can inspect which shards failed.
+        """
+        envelope = self.wait(job_id, timeout_s=timeout_s)
+        record = envelope.get("result")
+        if record is None:
+            raise ServiceError(
+                f"job {job_id} {envelope.get('state')}: "
+                f"{envelope.get('error_detail') or 'no result document'}",
+                code="job-failed",
+            )
+        return JobResult.from_dict(record)
+
+    def submit_and_wait(
+        self, experiments: "str | Iterable[str]", timeout_s: float = 600.0,
+        **submit_kwargs: Any,
+    ) -> JobResult:
+        """Submit a grid and block until its :class:`JobResult` is ready."""
+        envelope = self.submit(experiments, **submit_kwargs)
+        return self.result(envelope["job_id"], timeout_s=timeout_s)
+
+    # -- event streaming ---------------------------------------------------
+
+    def stream_events(
+        self, job_id: str, timeout_s: float = 600.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events over a WebSocket until end-of-stream.
+
+        Yields the backlog first, then live events; returns when the
+        server closes the stream (job terminal) or the socket times out.
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout_s
+        )
+        try:
+            key = "cmVwcm8tc2VydmljZS1ldnQ="  # any base64 nonce works
+            handshake = (
+                f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                "\r\n"
+            )
+            sock.sendall(handshake.encode("latin-1"))
+            stream = sock.makefile("rb")
+            status_line = stream.readline().decode("latin-1", "replace")
+            accept = ""
+            while True:
+                line = stream.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "sec-websocket-accept":
+                    accept = value.strip()
+            if "101" not in status_line:
+                raise ServiceError(
+                    f"WebSocket upgrade refused: {status_line.strip()}",
+                    code="connection",
+                )
+            if accept != wire.websocket_accept_key(key):
+                raise ServiceError(
+                    "WebSocket handshake returned a bad accept key",
+                    code="connection",
+                )
+            while True:
+                frame = wire.read_frame_blocking(stream)
+                if frame is None:
+                    return
+                opcode, payload = frame
+                if opcode == wire.OP_CLOSE:
+                    return
+                if opcode == wire.OP_PING:
+                    sock.sendall(wire.encode_frame(
+                        payload, opcode=wire.OP_PONG, mask=True
+                    ))
+                    continue
+                if opcode != wire.OP_TEXT:
+                    continue
+                yield json.loads(payload.decode("utf-8"))
+        except (OSError, EOFError) as exc:
+            raise ServiceError(
+                f"event stream for {job_id} failed: {exc}", code="connection"
+            ) from exc
+        finally:
+            sock.close()

@@ -74,3 +74,21 @@ class ModelError(ReproError):
 
 class RegistryError(ReproError):
     """Raised for missing or duplicate entries in library registries."""
+
+
+class ServiceError(ReproError):
+    """Raised for experiment-service failures, carrying the wire error code.
+
+    ``code`` is the machine-readable error identifier from the service's
+    error envelope (``bad-request``, ``unsupported-version``, ``shed``,
+    ``client-cap``, ``shutting-down``, ``not-found``, ``connection``);
+    ``status`` is the HTTP status the server attached (0 for client-side
+    failures that never reached the server).
+    """
+
+    def __init__(
+        self, message: str, code: str = "error", status: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status

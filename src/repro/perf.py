@@ -1136,4 +1136,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {failure}")
             return 1
         print(f"regression check vs {args.check}: OK")
+    from repro.service.schema import SCHEMA_VERSION
+
+    print(json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "command": "perf",
+        "suites": sorted(suites),
+        "benches": sum(len(r["benches"]) for r in suites.values()),
+        "quick": bool(args.quick),
+        "rounds": args.rounds,
+    }, sort_keys=True), flush=True)
     return 0

@@ -306,6 +306,18 @@ EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_bench_sharded.py",
         entrypoint="repro.runner.entrypoints:run_x14",
     ),
+    Experiment(
+        "X15", "SII.B (datacenter services) + SIV.B (admission control)",
+        "An experiment service with a bounded admission queue and request coalescing keeps served P99 latency bounded under millions-of-users traffic and spine faults, at the cost of explicit sheds",
+        "open admission P99 exceeds bounded-queue P99 by >=25% under spine-fault degradation; bounded sheds <5% of requests; coalescing plus result caching absorbs >=80% of offered executions",
+        (
+            "repro.workloads.servicesim",
+            "repro.service.schema",
+            "repro.engine.faults",
+        ),
+        "benchmarks/test_bench_service.py",
+        entrypoint="repro.runner.entrypoints:run_x15",
+    ),
 ]
 
 

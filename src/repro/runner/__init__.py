@@ -11,12 +11,16 @@ Headline entry points:
 
 - :func:`run_experiment` -- one experiment, inline, no cache.
 - :func:`run_grid` -- the full sweep, parallel and cached.
+- :func:`execute_job` -- the shared ``SubmitRequest -> JobResult``
+  core the two above, the CLI and the experiment service all route
+  through.
 - ``python -m repro run <ids|all>`` -- the same from the CLI.
 """
 
 from repro.runner.api import (
     DEFAULT_TIMEOUT_S,
     build_shards,
+    execute_job,
     resolve_experiments,
     run_experiment,
     run_grid,
@@ -42,6 +46,7 @@ __all__ = [
     "build_shards",
     "cache_key",
     "code_fingerprint",
+    "execute_job",
     "execute_shard",
     "resolve_entrypoint",
     "resolve_experiments",

@@ -1,17 +1,24 @@
-"""The runnable-experiment API: ``run_experiment`` and ``run_grid``.
+"""The runnable-experiment API: one ``SubmitRequest -> JobResult`` path.
 
-``run_experiment`` executes one registered experiment inline and
-returns its :class:`~repro.runner.results.RunResult` -- the
-programmatic "run experiment E2 at seed 7" entry point the registry
-previously lacked.
+:func:`execute_job` is the single execution core behind every way of
+running experiments: the library calls (:func:`run_experiment`,
+:func:`run_grid`), the ``python -m repro run`` CLI, and the experiment
+service (:mod:`repro.service`) all build a typed
+:class:`~repro.service.schema.SubmitRequest` and hand it here. The core
+sweeps the ``(experiment x seed x config-override)`` grid through the
+fork process pool with the on-disk result cache in front: shards whose
+content-hash key (config + code fingerprint) is already cached are
+served without recompute, everything else fans out over ``jobs``
+workers with per-run timeouts and bounded retries. Progress heartbeats
+are published through a
+:class:`~repro.engine.observability.Registry`; each shard actually
+handed to the pool increments the ``runner.pool_spawns`` counter, which
+is how the service proves a repeat submission was served entirely from
+cache.
 
-``run_grid`` sweeps an ``(experiment x seed x config-override)`` grid
-through the process pool with the on-disk result cache in front:
-shards whose content-hash key (config + code fingerprint) is already
-cached are served without recompute, everything else fans out over
-``jobs`` workers with per-run timeouts and bounded retries. Progress
-heartbeats are published through a
-:class:`~repro.engine.observability.Registry`.
+:func:`run_experiment` executes one registered experiment inline and
+returns its :class:`~repro.runner.results.RunResult`; :func:`run_grid`
+returns the merged :class:`~repro.runner.results.GridResult`.
 """
 
 from __future__ import annotations
@@ -23,11 +30,16 @@ from repro.engine.observability import Registry
 from repro.errors import RegistryError
 from repro.reporting.experiments import EXPERIMENTS, Experiment
 from repro.runner.cache import ResultCache, cache_key
-from repro.runner.pool import ShardSpec, execute_shard, run_shards
+from repro.runner.pool import ShardSpec, run_shards
 from repro.runner.results import GridResult, RunResult
 
 #: Default per-shard wall-clock budget for pooled sweeps.
 DEFAULT_TIMEOUT_S = 600.0
+
+#: Process-wide origin for gauge sample times: gauges require
+#: time-ordered samples, and a registry may outlive one job (the
+#: service shares one registry across every job it runs).
+_GAUGE_EPOCH = time.monotonic()
 
 
 def runnable_experiments() -> List[str]:
@@ -77,32 +89,6 @@ def resolve_experiments(tokens: Union[str, Iterable[str]]) -> List[Experiment]:
     return ordered
 
 
-def run_experiment(
-    experiment_id: str,
-    seed: int = 0,
-    config: Optional[Dict[str, Any]] = None,
-) -> RunResult:
-    """Run one experiment inline and return its result.
-
-    Executes in the calling process with no cache and no timeout --
-    the simplest possible path from an experiment id to its headline
-    metrics. Failures are captured in the result record
-    (``result.status``/``result.error``), never raised.
-    """
-    (experiment,) = resolve_experiments(experiment_id)
-    spec = ShardSpec(
-        index=0,
-        experiment_id=experiment.experiment_id,
-        entrypoint=experiment.entrypoint,
-        seed=seed,
-        config=dict(config or {}),
-    )
-    started = time.perf_counter()
-    result = execute_shard(spec)
-    result.wall_s = time.perf_counter() - started
-    return result
-
-
 def _as_seeds(seeds: Union[int, Iterable[int]]) -> List[int]:
     """``3`` -> ``[0, 1, 2]``; an iterable passes through validated."""
     if isinstance(seeds, int):
@@ -142,46 +128,41 @@ def build_shards(
     return shards
 
 
-def run_grid(
-    experiments: Union[str, Iterable[str]] = "all",
-    seeds: Union[int, Iterable[int]] = 1,
-    overrides: Optional[Sequence[Dict[str, Any]]] = None,
+def execute_job(
+    request: "Any",
     jobs: int = 1,
     cache_dir: Optional[str] = None,
-    use_cache: bool = True,
-    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
-    retries: int = 1,
     registry: Optional[Registry] = None,
     progress: Optional[Callable[[str], None]] = None,
-    quick: bool = False,
-) -> GridResult:
-    """Sweep experiments x seeds x config-overrides; return merged results.
+) -> "Any":
+    """Execute one :class:`~repro.service.schema.SubmitRequest` to its
+    :class:`~repro.service.schema.JobResult`.
 
-    ``seeds`` is a count (``K`` -> seeds ``0..K-1``) or an explicit
-    list. ``overrides`` is a sequence of config dicts, each crossed
-    with every experiment and seed (default: one empty override).
-    With ``cache_dir`` set and ``use_cache`` true, shards whose key is
-    cached are replayed without recompute and fresh ``ok`` results are
-    stored back. ``registry`` receives heartbeat metrics
-    (``runner.*`` counters, an in-flight gauge and a per-run wall-time
-    histogram); ``progress`` receives human-readable one-liners.
-    ``quick`` layers each experiment's reduced smoke-test problem size
-    (:data:`~repro.runner.entrypoints.QUICK_CONFIGS`) under the
-    overrides.
+    This is the single execution path shared by the library API, the
+    CLI and the experiment service. ``jobs`` and ``cache_dir`` are
+    *environment*, not job identity: they change how fast a grid runs
+    and where shard results persist, never what the canonical results
+    document contains. ``registry`` receives heartbeat metrics
+    (``runner.*`` counters, an in-flight gauge, a per-run wall-time
+    histogram, and the ``runner.pool_spawns`` shard-execution counter);
+    ``progress`` receives human-readable one-liners.
     """
     from repro.runner.entrypoints import QUICK_CONFIGS
+    from repro.service.schema import JobResult
 
-    resolved = resolve_experiments(experiments)
-    seed_list = _as_seeds(seeds)
-    override_list = list(overrides) if overrides else [{}]
+    spec = request.job.canonical()
+    resolved = resolve_experiments(list(spec.experiments))
+    seed_list = list(spec.seeds)
+    override_list = [dict(o) for o in spec.overrides]
     registry = registry if registry is not None else Registry()
     cache = (
-        ResultCache(cache_dir) if cache_dir is not None and use_cache else None
+        ResultCache(cache_dir, registry=registry)
+        if cache_dir is not None and request.use_cache else None
     )
 
     shards = build_shards(
         resolved, seed_list, override_list,
-        base_configs=QUICK_CONFIGS if quick else None,
+        base_configs=QUICK_CONFIGS if spec.quick else None,
     )
     total = len(shards)
     by_experiment = {e.experiment_id: e for e in resolved}
@@ -208,26 +189,30 @@ def run_grid(
 
     in_flight = 0
     gauge = registry.gauge("runner.in_flight")
-    start_time = time.monotonic()
-    gauge.set(0.0, 0)
+    gauge.set(time.monotonic() - _GAUGE_EPOCH, 0)
+    # Stats report per-job deltas: the registry may be shared across
+    # jobs (the service keeps one for its whole lifetime).
+    spawns_before = registry.counter("runner.pool_spawns").value
+    retries_before = registry.counter("runner.retries").value
 
-    def on_start(spec: ShardSpec, attempt: int) -> None:
+    def on_start(spec_: ShardSpec, attempt: int) -> None:
         nonlocal in_flight
+        registry.counter("runner.pool_spawns").inc()
         if attempt > 1:
             registry.counter("runner.retries").inc()
             if progress is not None:
                 progress(
-                    f"retry {spec.experiment_id} seed {spec.seed} "
+                    f"retry {spec_.experiment_id} seed {spec_.seed} "
                     f"(attempt {attempt})"
                 )
         in_flight += 1
-        gauge.set(time.monotonic() - start_time, in_flight)
+        gauge.set(time.monotonic() - _GAUGE_EPOCH, in_flight)
 
-    def on_complete(spec: ShardSpec, result: RunResult) -> None:
+    def on_complete(spec_: ShardSpec, result: RunResult) -> None:
         nonlocal in_flight, done_count
         in_flight -= 1
         done_count += 1
-        gauge.set(time.monotonic() - start_time, in_flight)
+        gauge.set(time.monotonic() - _GAUGE_EPOCH, in_flight)
         registry.counter("runner.completed").inc()
         if result.status == "error":
             registry.counter("runner.errors").inc()
@@ -236,16 +221,16 @@ def run_grid(
         registry.histogram("runner.run_wall_s").observe(result.wall_s)
         if progress is not None:
             progress(
-                f"[{done_count}/{total}] {spec.experiment_id} "
-                f"seed {spec.seed}: {result.status} "
+                f"[{done_count}/{total}] {spec_.experiment_id} "
+                f"seed {spec_.seed}: {result.status} "
                 f"({result.wall_s:.2f}s, attempt {result.attempts})"
             )
 
     fresh = run_shards(
         to_run,
         jobs=jobs,
-        timeout_s=timeout_s,
-        retries=retries,
+        timeout_s=spec.timeout_s,
+        retries=spec.retries,
         on_complete=on_complete,
         on_start=on_start,
     )
@@ -256,12 +241,112 @@ def run_grid(
             cache.put(keys[shard.index], result)
 
     merged = [results[index] for index in sorted(results)]
-    stats = {
+    grid = GridResult(results=merged, stats={
         "scheduled": total,
         "recomputed": len(fresh),
         "cache_hits": cache.hits if cache is not None else 0,
+        "pool_spawns": int(
+            registry.counter("runner.pool_spawns").value - spawns_before
+        ),
         "errors": sum(1 for r in merged if r.status == "error"),
         "timeouts": sum(1 for r in merged if r.status == "timeout"),
-        "retries": int(registry.counter("runner.retries").value),
-    }
-    return GridResult(results=merged, stats=stats)
+        "retries": int(
+            registry.counter("runner.retries").value - retries_before
+        ),
+    })
+    job_result = JobResult(
+        job_id=spec.job_id(),
+        status="ok" if grid.all_ok else "failed",
+        document=grid.to_dict(),
+        stats=dict(grid.stats),
+    )
+    # Runtime-only: the live GridResult, so library wrappers don't pay
+    # a serialize/deserialize round trip.
+    job_result.grid_live = grid
+    return job_result
+
+
+def _build_request(
+    experiments: Union[str, Iterable[str]],
+    seeds: Union[int, Iterable[int]],
+    overrides: Optional[Sequence[Dict[str, Any]]],
+    quick: bool,
+    timeout_s: Optional[float],
+    retries: int,
+    use_cache: bool,
+    client_id: str,
+) -> "Any":
+    """Assemble the typed request the execution core consumes."""
+    from repro.service.schema import JobSpec, SubmitRequest
+
+    resolved = resolve_experiments(experiments)
+    spec = JobSpec(
+        experiments=tuple(e.experiment_id for e in resolved),
+        seeds=tuple(_as_seeds(seeds)),
+        overrides=tuple(dict(o) for o in overrides) if overrides else ({},),
+        quick=quick,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    return SubmitRequest(job=spec, client_id=client_id, use_cache=use_cache)
+
+
+def run_experiment(
+    experiment_id: str,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+) -> RunResult:
+    """Run one experiment inline and return its result.
+
+    A single-shard job through the shared ``SubmitRequest -> JobResult``
+    path: executes in the calling process with no cache, no timeout and
+    no retries. Failures are captured in the result record
+    (``result.status``/``result.error``), never raised.
+    """
+    request = _build_request(
+        experiment_id, [seed], [dict(config)] if config else None,
+        quick=False, timeout_s=None, retries=0,
+        use_cache=False, client_id="library",
+    )
+    job = execute_job(request, jobs=1)
+    return job.grid_live.results[0]
+
+
+def run_grid(
+    experiments: Union[str, Iterable[str]] = "all",
+    seeds: Union[int, Iterable[int]] = 1,
+    overrides: Optional[Sequence[Dict[str, Any]]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+    retries: int = 1,
+    registry: Optional[Registry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    quick: bool = False,
+) -> GridResult:
+    """Sweep experiments x seeds x config-overrides; return merged results.
+
+    ``seeds`` is a count (``K`` -> seeds ``0..K-1``) or an explicit
+    list. ``overrides`` is a sequence of config dicts, each crossed
+    with every experiment and seed (default: one empty override).
+    With ``cache_dir`` set and ``use_cache`` true, shards whose key is
+    cached are replayed without recompute and fresh ``ok`` results are
+    stored back. ``quick`` layers each experiment's reduced smoke-test
+    problem size (:data:`~repro.runner.entrypoints.QUICK_CONFIGS`)
+    under the overrides.
+
+    A thin wrapper over :func:`execute_job` -- the same typed-request
+    path the service and CLI use -- returning the live
+    :class:`~repro.runner.results.GridResult`.
+    """
+    request = _build_request(
+        experiments, seeds, overrides,
+        quick=quick, timeout_s=timeout_s, retries=retries,
+        use_cache=use_cache, client_id="library",
+    )
+    job = execute_job(
+        request, jobs=jobs, cache_dir=cache_dir,
+        registry=registry, progress=progress,
+    )
+    return job.grid_live

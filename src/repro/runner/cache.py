@@ -82,24 +82,53 @@ class ResultCache:
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` (fanned out so huge
     sweeps do not produce a single million-entry directory). Corrupt or
-    partially written entries read as misses and are recomputed.
+    partially written entries read as misses and are *quarantined*:
+    renamed to ``<key>.corrupt`` so the evidence survives for forensics
+    instead of being silently shadowed, with the
+    ``runner.cache_corrupt`` counter incremented on the optional
+    ``registry``. The next ``put`` for the key writes a fresh entry.
     """
 
-    def __init__(self, root: "str | Path") -> None:
+    def __init__(
+        self, root: "str | Path", registry: Optional[Any] = None
+    ) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.registry = registry
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside as ``.corrupt`` and count it."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:  # raced away or unwritable parent: miss either way
+            return
+        self.quarantined += 1
+        if self.registry is not None:
+            self.registry.counter("runner.cache_corrupt").inc()
+
     def get(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or None on a miss."""
+        """The cached result for ``key``, or None on a miss.
+
+        A present-but-undecodable entry is quarantined (renamed to
+        ``<key>.corrupt``) rather than left in place or deleted, then
+        reported as a miss.
+        """
         path = self._path(key)
         try:
-            record = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            record = json.loads(text)
             result = RunResult.from_dict(record)
-        except (OSError, ValueError, KeyError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1

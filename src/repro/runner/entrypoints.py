@@ -48,6 +48,7 @@ QUICK_CONFIGS: Dict[str, Dict[str, Any]] = {
     "E16": {},
     "X12": {"n_requests": 600, "n_reads": 400, "n_jobs": 10},
     "X14": {"k": 8, "n_requests": 8_000, "duration_s": 2e-3, "shards": 2},
+    "X15": {"n_requests": 3_000},
 }
 
 
@@ -711,3 +712,37 @@ def run_x14(config: Mapping[str, Any], seed: int) -> RunResult:
         if key in run.diagnostics:
             metrics[key] = run.diagnostics[key]
     return _result("X14", seed, cfg, metrics)
+
+
+def run_x15(config: Mapping[str, Any], seed: int) -> RunResult:
+    """X15: the experiment service under millions-of-users traffic.
+
+    Models the tentpole service's admission queue, coalescing and
+    result cache in the DES engine at planetary request volume, with
+    spine-uplink faults degrading the workers' fabric -- comparing the
+    ``open``, ``bounded`` and ``fair`` admission policies on served
+    P99 and shed rate (:func:`repro.workloads.service_exhibit`).
+    """
+    from repro.workloads.servicesim import service_exhibit
+
+    cfg = _merge(
+        {
+            "n_requests": 50_000,
+            "arrival_rate_hz": 2_000.0,
+            "n_workers": 8,
+            "queue_cap": 48,
+            "per_client_cap": 4,
+        },
+        config,
+    )
+    metrics = service_exhibit(
+        n_requests=cfg["n_requests"],
+        seed=seed,
+        overrides={
+            "arrival_rate_hz": cfg["arrival_rate_hz"],
+            "n_workers": cfg["n_workers"],
+            "queue_cap": cfg["queue_cap"],
+            "per_client_cap": cfg["per_client_cap"],
+        },
+    )
+    return _result("X15", seed, cfg, metrics)

@@ -24,6 +24,9 @@ from typing import Any, Dict, List, Optional
 #: The three terminal shard states.
 RUN_STATUSES = ("ok", "error", "timeout")
 
+#: Identifier of the canonical merged-results document format.
+RESULTS_SCHEMA = "repro.runner/results/v1"
+
 
 @dataclass
 class RunResult:
@@ -135,12 +138,32 @@ class GridResult:
     def to_dict(self) -> Dict[str, Any]:
         """The canonical document written to ``results.json``."""
         return {
-            "schema": "repro.runner/results/v1",
+            "schema": RESULTS_SCHEMA,
             "n_runs": len(self.results),
             "n_ok": self.n_ok,
             "experiments": sorted({r.experiment_id for r in self.results}),
             "results": [r.to_dict() for r in self.results],
         }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "GridResult":
+        """Rebuild a grid from :meth:`to_dict` output.
+
+        The header fields (``n_runs``, ``n_ok``, ``experiments``) are
+        derived from the rows, so a round trip through
+        :meth:`to_dict` -> :meth:`from_dict` -> :meth:`write_json`
+        reproduces the serialized document byte for byte -- the property
+        the service client relies on. Raises ``ValueError`` on a schema
+        mismatch.
+        """
+        schema = document.get("schema")
+        if schema != RESULTS_SCHEMA:
+            raise ValueError(
+                f"unknown results schema {schema!r}; expected {RESULTS_SCHEMA!r}"
+            )
+        return cls(
+            results=[RunResult.from_dict(r) for r in document.get("results", [])]
+        )
 
     def write_json(self, path: "str | Path") -> Path:
         """Write the canonical merged document to ``path``."""

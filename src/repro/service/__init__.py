@@ -1,0 +1,47 @@
+"""Experiment service layer: the async job API over the runner.
+
+``repro.service`` turns the batch experiment runner into a long-lived
+server: experiment grids are submitted as typed
+:class:`~repro.service.schema.JobSpec` requests, executed on the
+existing fork process pool with admission control (bounded queue,
+per-client concurrency caps) and request coalescing (identical
+content-addressed job keys share one in-flight run), and served
+instantly from the SHA-256 result cache on repeat submission. Progress
+heartbeats and job-lifecycle spans stream over WebSocket.
+
+The public surface is *versioned*: every request and response carries
+``schema_version`` (:data:`~repro.service.schema.SCHEMA_VERSION`), and
+the dataclasses in :mod:`repro.service.schema` are the single contract
+shared by the server here, :class:`repro.client.ServiceClient`, and the
+``python -m repro serve`` / ``submit`` CLI verbs. The library entry
+points :func:`repro.run_experiment` / :func:`repro.run_grid` route
+through the same ``SubmitRequest -> JobResult`` path
+(:func:`repro.runner.execute_job`), so one code path produces
+byte-identical ``results.json`` regardless of how a grid was submitted.
+"""
+
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    JobResult,
+    JobSpec,
+    SubmitRequest,
+    decode_submit_request,
+    error_envelope,
+)
+from repro.service.server import (
+    ExperimentService,
+    ServiceHandle,
+    serve_in_thread,
+)
+
+__all__ = [
+    "ExperimentService",
+    "JobResult",
+    "JobSpec",
+    "SCHEMA_VERSION",
+    "ServiceHandle",
+    "SubmitRequest",
+    "decode_submit_request",
+    "error_envelope",
+    "serve_in_thread",
+]

@@ -1,0 +1,262 @@
+"""Minimal HTTP/1.1 and WebSocket (RFC 6455) framing, framework-free.
+
+The experiment service deliberately runs on the stdlib alone, so this
+module implements just the wire subset the service needs:
+
+- request parsing and response formatting for plain HTTP/1.1 with
+  ``Content-Length`` bodies (the service always answers
+  ``Connection: close``, so chunked encoding and keep-alive never
+  arise);
+- the WebSocket opening handshake (``Sec-WebSocket-Accept`` key
+  derivation) and single-frame ("FIN"-only) framing for text, close,
+  ping and pong opcodes -- the event stream sends every JSON event as
+  one unfragmented text frame, which every conforming peer accepts.
+
+Both ends of the connection use this module: the asyncio server reads
+with the ``async`` helpers, the blocking :class:`repro.client`
+WebSocket reader uses the ``*_blocking`` variants over a socket file.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import struct
+from asyncio import IncompleteReadError, LimitOverrunError, StreamReader
+from typing import Any, BinaryIO, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: The fixed GUID every WebSocket handshake concatenates (RFC 6455 s4.2.2).
+WEBSOCKET_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes the service speaks.
+OP_TEXT, OP_CLOSE, OP_PING, OP_PONG = 0x1, 0x8, 0x9, 0xA
+
+#: Largest request body / frame payload accepted (grids are small).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the status codes the service emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpRequest:
+    """One parsed HTTP/1.1 request: method, path, lowercased headers, body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def wants_websocket(self) -> bool:
+        """Whether the request asks to upgrade to a WebSocket."""
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+
+async def read_http_request(reader: StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off ``reader``; None when the peer hung up.
+
+    Raises :class:`ServiceError` (``bad-request``/``payload-too-large``)
+    for malformed or oversized requests.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, path, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise ServiceError(
+            "malformed request line", code="bad-request", status=400
+        )
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(
+            f"request body of {length} bytes exceeds {MAX_BODY_BYTES}",
+            code="payload-too-large", status=413,
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except IncompleteReadError:
+            return None
+    return HttpRequest(method.upper(), path, headers, body)
+
+
+def http_response(
+    status: int,
+    body: "bytes | str" = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Format a complete ``Connection: close`` HTTP/1.1 response."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """Derive ``Sec-WebSocket-Accept`` from the client's key (RFC 6455)."""
+    digest = hashlib.sha1(
+        (client_key + WEBSOCKET_GUID).encode("latin-1")
+    ).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def websocket_handshake_response(client_key: str) -> bytes:
+    """The ``101 Switching Protocols`` response completing the upgrade."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def encode_frame(
+    payload: "bytes | str", opcode: int = OP_TEXT, mask: bool = False
+) -> bytes:
+    """One FIN-flagged WebSocket frame.
+
+    Servers send unmasked (``mask=False``); clients must mask
+    (``mask=True``). Masking uses a fixed-zero masking key, which the
+    RFC permits the receiver to accept (the key's unpredictability only
+    matters for proxies, irrelevant on loopback) and keeps the wire
+    bytes deterministic for tests.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        head += b"\x00\x00\x00\x00"  # zero masking key: XOR is identity
+    return bytes(head) + payload
+
+
+def _decode_frame_parts(
+    first_two: bytes, read_exact: Any
+) -> Tuple[int, bytes]:
+    """Shared tail of frame decoding once the 2-byte header is in hand."""
+    opcode = first_two[0] & 0x0F
+    masked = bool(first_two[1] & 0x80)
+    length = first_two[1] & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", read_exact(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", read_exact(8))[0]
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(
+            f"frame of {length} bytes exceeds {MAX_BODY_BYTES}",
+            code="payload-too-large", status=413,
+        )
+    mask_key = read_exact(4) if masked else b""
+    payload = read_exact(length) if length else b""
+    if masked and any(mask_key):
+        payload = bytes(
+            b ^ mask_key[i % 4] for i, b in enumerate(payload)
+        )
+    return opcode, payload
+
+
+async def read_frame(reader: StreamReader) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``(opcode, unmasked payload)`` or None on EOF."""
+    opcode = 0
+    masked = False
+    try:
+        first_two = await reader.readexactly(2)
+        opcode = first_two[0] & 0x0F
+        masked = bool(first_two[1] & 0x80)
+        length = first_two[1] & 0x7F
+        if length == 126:
+            length = struct.unpack(">H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack(">Q", await reader.readexactly(8))[0]
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"frame of {length} bytes exceeds {MAX_BODY_BYTES}",
+                code="payload-too-large", status=413,
+            )
+        mask_key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (IncompleteReadError, ConnectionError):
+        return None
+    if masked and any(mask_key):
+        payload = bytes(b ^ mask_key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+def read_frame_blocking(stream: BinaryIO) -> Optional[Tuple[int, bytes]]:
+    """Blocking :func:`read_frame` over a socket file object."""
+    try:
+        first_two = _read_exact_blocking(stream, 2)
+        if first_two is None:
+            return None
+        return _decode_frame_parts(
+            first_two, lambda n: _must_read_blocking(stream, n)
+        )
+    except EOFError:
+        return None
+
+
+def _read_exact_blocking(stream: BinaryIO, n: int) -> Optional[bytes]:
+    data = b""
+    while len(data) < n:
+        chunk = stream.read(n - len(data))
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+def _must_read_blocking(stream: BinaryIO, n: int) -> bytes:
+    data = _read_exact_blocking(stream, n)
+    if data is None:
+        raise EOFError("connection closed mid-frame")
+    return data

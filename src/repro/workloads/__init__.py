@@ -2,8 +2,9 @@
 
 Seeded synthetic data (Zipf text, clickstreams, relational tables,
 sensor/science streams, web graphs), the five-workload standard suite,
-the Catapult-style search service (E2) and the HPC/Big Data convergence
-trigger pipeline (E14).
+the Catapult-style search service (E2), the HPC/Big Data convergence
+trigger pipeline (E14) and the experiment-service admission model under
+planetary traffic (X15).
 """
 
 from repro.workloads.chaos import (
@@ -42,6 +43,11 @@ from repro.workloads.search import (
     run_search_service,
     tail_latency_reduction,
 )
+from repro.workloads.servicesim import (
+    ADMISSION_POLICIES,
+    run_service_traffic,
+    service_exhibit,
+)
 from repro.workloads.streams import (
     TriggerReport,
     convergence_comparison,
@@ -56,6 +62,7 @@ from repro.workloads.suite import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "BenchmarkDefinition",
     "BenchmarkScore",
     "EdgeScenario",
@@ -79,11 +86,13 @@ __all__ = [
     "run_scheduler_chaos",
     "run_search_chaos",
     "run_search_service",
+    "run_service_traffic",
     "run_suite",
     "run_trigger_pipeline",
     "sales_table",
     "science_events",
     "sensor_readings",
+    "service_exhibit",
     "simulate_fabric",
     "simulate_fabric_sharded",
     "standard_suite",

@@ -29,6 +29,46 @@ PACKAGES = [
     "repro.mc",
     "repro.reporting",
     "repro.runner",
+    "repro.service",
+]
+
+#: The pinned top-level surface. Additions here are API commitments --
+#: update deliberately (with the matching ``__version__`` bump), never
+#: by accident.
+TOP_LEVEL_SURFACE = [
+    "EXPERIMENTS",
+    "Experiment",
+    "FaultInjector",
+    "FaultSpec",
+    "GridResult",
+    "JobResult",
+    "JobSpec",
+    "Observability",
+    "RandomStream",
+    "RetryPolicy",
+    "RunResult",
+    "ServiceClient",
+    "ShardedSimulation",
+    "Simulator",
+    "SubmitRequest",
+    "__version__",
+    "build_roadmap",
+    "execute_job",
+    "generate_corpus",
+    "get_experiment",
+    "hedge",
+    "mc",
+    "partition_fabric",
+    "render_table",
+    "retry",
+    "run_experiment",
+    "run_grid",
+    "run_trace",
+    "runnable_experiments",
+    "simulate_fabric",
+    "simulate_fabric_sharded",
+    "traceable_experiments",
+    "with_deadline",
 ]
 
 
@@ -100,9 +140,31 @@ class TestDocstrings:
         assert not undocumented, undocumented
 
 
+class TestTopLevelSurface:
+    def test_exactly_the_pinned_surface(self):
+        assert list(repro.__all__) == TOP_LEVEL_SURFACE
+
+    def test_pinned_names_resolve(self):
+        for name in TOP_LEVEL_SURFACE:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_service_contract_exports(self):
+        # The v2 service surface: client, job contract, execution path.
+        assert repro.ServiceClient.__module__ == "repro.client"
+        assert repro.JobSpec is repro.service.JobSpec
+        assert repro.JobResult is repro.service.JobResult
+        assert repro.SubmitRequest is repro.service.SubmitRequest
+        assert callable(repro.execute_job)
+
+
 class TestVersionAndMain:
     def test_version_string(self):
         assert repro.__version__.count(".") == 2
+
+    def test_version_is_v2(self):
+        # The service layer is a major surface addition.
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 2
 
     def test_cli_module_importable(self):
         module = importlib.import_module("repro.__main__")

@@ -89,11 +89,14 @@ class TestCli:
     def test_trace_command_end_to_end(self, tmp_path, capsys):
         from repro.__main__ import main
 
-        out = tmp_path / "trace.jsonl"
-        assert main(["trace", "X7", "--out", str(out)]) == 0
+        assert main(["trace", "X7", "--out-dir", str(tmp_path)]) == 0
         printed = capsys.readouterr().out
         assert "per-subsystem breakdown" in printed
-        assert out.exists()
+        assert (tmp_path / "trace.jsonl").exists()
+        last = printed.strip().splitlines()[-1]
+        record = json.loads(last)
+        assert record["command"] == "trace"
+        assert record["experiment"] == "X7"
 
     def test_trace_without_experiment_lists_choices(self, capsys):
         from repro.__main__ import main

@@ -216,14 +216,34 @@ class TestCache:
         assert len(cache) == 0
         assert cache.get("a" * 64) is None
 
-    def test_corrupt_entry_reads_as_miss(self, tmp_path):
-        cache = ResultCache(tmp_path / "cache")
+    def test_corrupt_entry_reads_as_miss_and_quarantines(self, tmp_path):
+        from repro.engine import Registry
+
+        registry = Registry()
+        cache = ResultCache(tmp_path / "cache", registry=registry)
         key = "b" * 64
         cache.put(key, RunResult(experiment_id="E4", seed=0))
         assert cache.get(key) is not None
         path = cache.root / key[:2] / f"{key}.json"
         path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
+        # The bad entry was moved aside, not left to fail every read.
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.quarantined == 1
+        assert registry.counter("runner.cache_corrupt").value == 1
+        # Quarantined entries no longer count as cached.
+        assert len(cache) == 0
+
+    def test_schema_mismatch_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "c" * 64
+        cache.put(key, RunResult(experiment_id="E4", seed=0))
+        path = cache.root / key[:2] / f"{key}.json"
+        path.write_text('{"schema": "other/v9"}', encoding="utf-8")
+        assert cache.get(key) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert cache.quarantined == 1
 
     def test_no_cache_flag_stores_nothing(self, tmp_path):
         cache_dir = tmp_path / "cache"
