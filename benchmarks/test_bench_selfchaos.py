@@ -1,0 +1,68 @@
+"""X16 -- the self-chaos harness: crash-safety proven on the real stack.
+
+Where every other exhibit models a system, this one attacks the
+reproduction stack itself: it SIGKILLs pool workers mid-shard, SIGKILLs
+a real ``python -m repro run`` subprocess mid-grid and resumes it from
+the write-ahead journal, and SIGKILLs a real ``python -m repro serve``
+right after it accepts a job, then restarts it on the same cache
+directory. The asserted verdicts are the crash-recovery invariants:
+worker deaths are contained and retried without poisoning sibling
+shards (two kills quarantine), every SIGKILL schedule merges to the
+byte-identical canonical ``results.json`` of an undisturbed run, a
+restarted service re-admits its journaled job, and resubmitted
+completed work is served entirely from cache. Asserts over the
+registered X16 entrypoint (``python -m repro run X16``).
+"""
+
+from repro.reporting import render_table
+from repro.runner import run_experiment
+
+# Exhibit scale: small inner grids, short kill windows -- the verdicts
+# are schedule-independent booleans, so scale buys nothing but time.
+_EXHIBIT_CONFIG = {
+    "inner_seeds": 2,
+    "probe_sleep_s": 0.15,
+    "service_sleep_s": 1.0,
+}
+
+
+def test_bench_selfchaos_exhibit(benchmark):
+    result = benchmark(run_experiment, "X16", config=_EXHIBIT_CONFIG)
+    assert result.ok, result.error
+    metrics = result.metrics
+    print()
+    print(render_table(
+        ["invariant", "held"],
+        [
+            ["worker crash contained + retried",
+             str(metrics["contained_crash_recovered"])],
+            ["double-crash shard quarantined",
+             str(metrics["contained_quarantined"])],
+            ["sibling shards unaffected",
+             str(metrics["contained_sibling_ok"])],
+            ["worker-kill grid byte-identical",
+             str(metrics["worker_kill_byte_identical"])],
+            ["parent-kill resume byte-identical",
+             str(metrics["parent_kill_byte_identical"])],
+            ["killed service re-admits its job",
+             str(metrics["service_job_recovered"])],
+            ["recovered job completes",
+             str(metrics["service_recovered_job_ok"])],
+            ["resubmit fully cache-served",
+             str(metrics["service_resubmit_cache_served"])],
+        ],
+        title="X16 crash-recovery invariants",
+    ))
+    assert metrics["contained_crash_recovered"]
+    assert metrics["contained_quarantined"]
+    assert metrics["contained_sibling_ok"]
+    assert metrics["contained_worker_crashes"] == 3
+    assert metrics["worker_kill_all_ok"]
+    assert metrics["worker_kill_byte_identical"]
+    assert metrics["parent_kill_replayed_from_journal"]
+    assert metrics["parent_kill_byte_identical"]
+    assert metrics["service_first_job_ok"]
+    assert metrics["service_job_recovered"]
+    assert metrics["service_recovered_job_ok"]
+    assert metrics["service_resubmit_cache_served"]
+    assert metrics["byte_identical"]

@@ -8,22 +8,28 @@ Commands:
 - ``experiments``  -- the experiment registry with paper anchors.
 - ``run``          -- the parallel experiment runner: fan an
   (experiment x seed) grid over a process pool with result caching,
-  write a merged ``results.json``. Options: ``--jobs``, ``--seeds``,
+  write a merged ``results.json``. Every cached run keeps a write-ahead
+  journal next to the cache; ``--resume`` replays it so a killed sweep
+  continues from its last fsync'd record and still produces the
+  byte-identical canonical document. Options: ``--jobs``, ``--seeds``,
   ``--cache-dir``, ``--no-cache``, ``--out-dir``, ``--timeout-s``,
-  ``--retries``, ``--quick``, ``--set KEY=VALUE``.
+  ``--retries``, ``--quick``, ``--resume``, ``--set KEY=VALUE``.
 - ``trace``        -- run one experiment instrumented; print the span /
   metrics report and write ``trace.jsonl``.
 - ``serve``        -- start the experiment service: an asyncio HTTP +
   WebSocket server accepting job submissions, with admission control,
-  request coalescing and the shared result cache. Options: ``--host``,
-  ``--port``, ``--jobs``, ``--cache-dir``, ``--no-cache``,
-  ``--max-pending``, ``--max-active``, ``--per-client``.
+  request coalescing and the shared result cache. Accepted jobs are
+  journaled next to the cache, so a restarted service re-admits work
+  that was in flight when it died. Options: ``--host``, ``--port``,
+  ``--jobs``, ``--cache-dir``, ``--no-cache``, ``--max-pending``,
+  ``--max-active``, ``--per-client``.
 - ``submit``       -- submit an experiment grid to a running service
   and write the returned ``results.json`` (byte-identical to a local
-  ``run`` of the same grid). Options: ``--server``, ``--seeds``,
-  ``--set``, ``--quick``, ``--timeout-s``, ``--retries``,
+  ``run`` of the same grid). Transient connection failures retry with
+  exponential backoff unless ``--no-retry``. Options: ``--server``,
+  ``--seeds``, ``--set``, ``--quick``, ``--timeout-s``, ``--retries``,
   ``--out-dir``, ``--events-out``, ``--client-id``, ``--no-cache``,
-  ``--wait-s``.
+  ``--no-retry``, ``--wait-s``.
 - ``perf``         -- run the pinned perf microbenches (production
   kernel vs frozen pre-fast-path reference, plus the sharded engine vs
   the sequential one); write ``BENCH_engine.json``, ``BENCH_models.json``,
@@ -172,6 +178,10 @@ def _cmd_run(args) -> int:
     from repro.reporting import render_table
     from repro.runner import run_grid
 
+    if args.resume and args.no_cache:
+        print("error: --resume needs the cache/journal directory; "
+              "it cannot be combined with --no-cache", file=sys.stderr)
+        return 2
     try:
         config = _parse_set_overrides(args.set)
         registry = Registry()
@@ -187,6 +197,7 @@ def _cmd_run(args) -> int:
             registry=registry,
             progress=lambda line: print(f"  {line}", flush=True),
             quick=args.quick,
+            resume=args.resume,
         )
     except RegistryError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -203,7 +214,9 @@ def _cmd_run(args) -> int:
     ))
     stats = grid.stats
     print(f"{len(grid)} runs: {grid.n_ok} ok, {stats['errors']} errors, "
-          f"{stats['timeouts']} timeouts | cache hits: {stats['cache_hits']}, "
+          f"{stats['timeouts']} timeouts, {stats['crashed']} crashed | "
+          f"cache hits: {stats['cache_hits']}, "
+          f"journal replayed: {stats['journal_replayed']}, "
           f"recomputed: {stats['recomputed']}, retries: {stats['retries']}")
 
     out_path = grid.write_json(Path(args.out_dir) / "results.json")
@@ -304,7 +317,8 @@ def _cmd_submit(args) -> int:
 
     config = _parse_set_overrides(args.set)
     client = ServiceClient(
-        args.server, timeout_s=30.0, client_id=args.client_id
+        args.server, timeout_s=30.0, client_id=args.client_id,
+        **({"retry_policy": None} if args.no_retry else {}),
     )
     try:
         envelope = client.submit(
@@ -319,10 +333,12 @@ def _cmd_submit(args) -> int:
         job_id = envelope["job_id"]
         print(f"job {job_id} {envelope['state']} at {client.base_url}")
         if args.events_out is not None:
+            from repro.core.atomicio import atomic_open
+
             events_path = Path(args.events_out)
-            if events_path.parent != Path("."):
-                events_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(events_path, "w", encoding="utf-8") as handle:
+            # Atomic: the JSONL only appears once the stream completed,
+            # so a crash mid-stream never leaves a truncated log.
+            with atomic_open(events_path) as handle:
                 for event in client.stream_events(
                     job_id, timeout_s=args.wait_s
                 ):
@@ -386,6 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="re-attempts per failed run (default: 1)")
     run_parser.add_argument("--quick", action="store_true",
                             help="reduced problem sizes (smoke runs)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="replay this grid's write-ahead journal "
+                                 "and run only the unfinished shards")
     run_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
                             help="config override applied to every "
                                  "experiment (repeatable)")
@@ -457,6 +476,9 @@ def build_parser() -> argparse.ArgumentParser:
                                     "admission caps (default: cli)")
     submit_parser.add_argument("--no-cache", action="store_true",
                                help="force recompute on the server")
+    submit_parser.add_argument("--no-retry", action="store_true",
+                               help="fail fast on connection errors "
+                                    "instead of retrying with backoff")
     submit_parser.add_argument("--wait-s", type=float, default=600.0,
                                help="how long to wait for the job "
                                     "(default: 600)")

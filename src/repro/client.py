@@ -12,6 +12,13 @@ The headline call is :meth:`ServiceClient.submit_and_wait`: build a
 terminal state, and return the :class:`~repro.service.schema.JobResult`
 whose ``document`` serializes byte-identically to a local ``repro run``
 of the same grid.
+
+Transient transport failures -- connection refused while the service
+restarts, a reset mid-request -- are retried with exponential backoff
+under a :class:`~repro.engine.resilience.RetryPolicy` (pass
+``retry_policy=None`` to fail fast; ``repro submit --no-retry`` does).
+Only ``code="connection"`` errors retry: an error envelope the server
+actually produced is an answer, not an outage.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import time
 import urllib.parse
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from repro.engine.resilience import RetryPolicy
 from repro.errors import ServiceError
 from repro.service import wire
 from repro.service.schema import (
@@ -33,6 +41,13 @@ from repro.service.schema import (
 )
 
 
+#: Backoff for transient transport failures: 4 attempts over ~1.75s
+#: (0.25, 0.5, 1.0), tuned to ride out a service restart.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.25, multiplier=2.0, max_delay_s=2.0
+)
+
+
 class ServiceClient:
     """Typed access to one experiment service at ``base_url``.
 
@@ -40,11 +55,16 @@ class ServiceClient:
     for a job polls with bounded requests). Raises
     :class:`~repro.errors.ServiceError` for error envelopes the server
     returns and for transport failures (``code="connection"``).
+
+    ``retry_policy`` governs transparent retry of *transport* failures
+    (connection refused/reset before a response arrived); pass ``None``
+    to disable and surface the first failure immediately.
     """
 
     def __init__(
         self, base_url: str, timeout_s: float = 30.0,
         client_id: str = "client",
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
     ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", ""):
@@ -58,6 +78,7 @@ class ServiceClient:
         self.port = int(port) if port else 80
         self.timeout_s = timeout_s
         self.client_id = client_id
+        self.retry_policy = retry_policy
 
     @property
     def base_url(self) -> str:
@@ -69,6 +90,31 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        """One logical round trip, with transient-failure retry.
+
+        Retries only ``code="connection"`` failures -- the service was
+        unreachable, so the request cannot have been half-applied in a
+        way retries would compound (submits are content-addressed and
+        coalesce server-side, making them safe to repeat). Error
+        envelopes and decode failures surface immediately.
+        """
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        failure: Optional[ServiceError] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if exc.code != "connection" or attempt == attempts:
+                    raise
+                failure = exc
+                time.sleep(policy.delay_s(attempt))
+        raise failure  # pragma: no cover - loop always returns or raises
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """A single HTTP round trip with no retry."""
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:

@@ -1,5 +1,6 @@
 """The roadmap core: technology catalog, adoption forecasting, the twelve
-recommendations, portfolio prioritization, and roadmap assembly."""
+recommendations, portfolio prioritization, roadmap assembly, and the
+crash-safe file primitives the rest of the stack builds on."""
 
 from repro.core.adoption import (
     BassModel,
@@ -7,6 +8,12 @@ from repro.core.adoption import (
     TrlSchedule,
     adoption_curve,
     commodity_year_forecast,
+)
+from repro.core.atomicio import (
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
 )
 from repro.core.prioritize import (
     Portfolio,
@@ -78,6 +85,10 @@ __all__ = [
     "WaitingGameConfig",
     "WaitingGameResult",
     "adoption_curve",
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "build_roadmap",
     "commodity_year_forecast",
     "forecast_error_summary",

@@ -1,0 +1,103 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+Every durable artifact the harness produces -- ``results.json``,
+``BENCH_*.json``, streamed ``--events-out`` logs -- is written through
+these helpers so a crash at any instant leaves either the previous
+file or the complete new one, never a truncated hybrid. The recipe is
+the classic one: write to a sibling temp file in the same directory
+(same filesystem, so the rename is atomic), flush, ``fsync`` the file,
+then ``os.replace`` it over the destination.
+
+The directory entry itself is not fsync'd; on a whole-machine power
+loss the rename may be lost, but the destination still holds either
+the old or the new complete contents -- which is the invariant the
+crash-recovery layer (:mod:`repro.runner.journal`) depends on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+#: Per-process serial for scratch names: together with the pid it makes
+#: every scratch file unique even across threads racing the same target.
+_SCRATCH_SERIAL = itertools.count()
+
+
+def _scratch_for(target: Path) -> Path:
+    return target.parent / (
+        f"{target.name}.tmp-{os.getpid()}-{next(_SCRATCH_SERIAL)}"
+    )
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``.
+
+    Creates parent directories as needed. The temp file is named after
+    the destination plus a ``.tmp-<pid>-<serial>`` suffix so concurrent
+    writers -- other processes or other threads in this one -- never
+    collide on the scratch name.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = _scratch_for(target)
+    with open(scratch, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(scratch, target)
+    return target
+
+
+def atomic_write_text(
+    path: "str | Path", text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: "str | Path", document: Any) -> Path:
+    """Atomically write ``document`` in the repo's canonical JSON style.
+
+    The encoding (2-space indent, sorted keys, trailing newline) matches
+    what ``results.json`` and ``BENCH_*.json`` have always used, so
+    routing existing artifacts through this helper changes durability,
+    not bytes.
+    """
+    return atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@contextmanager
+def atomic_open(
+    path: "str | Path", encoding: str = "utf-8"
+) -> Iterator[TextIO]:
+    """Open a text stream whose contents appear atomically on close.
+
+    For artifacts built up incrementally (streamed event logs): the
+    body writes to the scratch file, and only a clean exit fsyncs and
+    renames it into place. An exception leaves the destination
+    untouched and removes the scratch file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = _scratch_for(target)
+    handle = open(scratch, "w", encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(scratch, target)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise

@@ -76,6 +76,20 @@ class RegistryError(ReproError):
     """Raised for missing or duplicate entries in library registries."""
 
 
+class JournalError(ReproError):
+    """Raised when a job journal is unreadable or inconsistent.
+
+    ``offset`` is the byte offset of the first record that could not be
+    accepted (-1 when the failure is not positional, e.g. a grid
+    identity mismatch), so operators can inspect exactly where an
+    append-only journal went bad.
+    """
+
+    def __init__(self, message: str, offset: int = -1) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
 class ServiceError(ReproError):
     """Raised for experiment-service failures, carrying the wire error code.
 

@@ -883,14 +883,18 @@ def run_suites(
 def write_results(
     suites: Dict[str, Dict[str, Any]], out_dir: Path
 ) -> List[Path]:
-    """Write ``BENCH_<suite>.json`` files; returns the paths."""
+    """Write ``BENCH_<suite>.json`` files atomically; returns the paths.
+
+    Routed through :func:`repro.core.atomicio.atomic_write_json` so an
+    interrupted perf run cannot leave a truncated bench artifact for
+    the baseline gate to trip over.
+    """
+    from repro.core.atomicio import atomic_write_json
+
     out_dir = Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
     paths = []
     for name, results in sorted(suites.items()):
-        path = out_dir / f"BENCH_{name}.json"
-        path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-        paths.append(path)
+        paths.append(atomic_write_json(out_dir / f"BENCH_{name}.json", results))
     return paths
 
 

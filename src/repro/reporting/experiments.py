@@ -318,6 +318,18 @@ EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_bench_service.py",
         entrypoint="repro.runner.entrypoints:run_x15",
     ),
+    Experiment(
+        "X16", "SIV.B (resilient services) + methodology (fault injection)",
+        "A write-ahead job journal plus worker-crash containment make the experiment runner and service crash-safe: any SIGKILL schedule merges to the byte-identical canonical document of an undisturbed run",
+        "worker SIGKILLs are contained and retried without poisoning sibling shards (two kills quarantine the shard); a grid SIGKILLed mid-run resumes from the journal to byte-identical results.json; a killed service re-admits its journaled jobs on restart and serves resubmitted completed work entirely from cache",
+        (
+            "repro.workloads.selfchaos",
+            "repro.runner.journal",
+            "repro.service.server",
+        ),
+        "benchmarks/test_bench_selfchaos.py",
+        entrypoint="repro.runner.entrypoints:run_x16",
+    ),
 ]
 
 

@@ -16,6 +16,18 @@ handed to the pool increments the ``runner.pool_spawns`` counter, which
 is how the service proves a repeat submission was served entirely from
 cache.
 
+When a ``cache_dir`` is configured the core also keeps a write-ahead
+job journal (:mod:`repro.runner.journal`) next to the cache: grid
+identity, every shard handoff, and every terminal shard result are
+fsync'd to disk *before* execution moves on, so a run killed at any
+instant -- parent or worker -- can be resumed with
+``execute_job(..., resume=True)`` / ``run_grid(resume=True)`` /
+``repro run --resume``. Resume replays journaled shard results (the
+only durable record of *failed* shards, which the cache never stores)
+plus cache hits, runs only the remainder, and merges to a
+``results.json`` byte-identical to an uninterrupted run at any
+``jobs`` count.
+
 :func:`run_experiment` executes one registered experiment inline and
 returns its :class:`~repro.runner.results.RunResult`; :func:`run_grid`
 returns the merged :class:`~repro.runner.results.GridResult`.
@@ -30,6 +42,12 @@ from repro.engine.observability import Registry
 from repro.errors import RegistryError
 from repro.reporting.experiments import EXPERIMENTS, Experiment
 from repro.runner.cache import ResultCache, cache_key
+from repro.runner.journal import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    journal_path,
+    replay_grid,
+)
 from repro.runner.pool import ShardSpec, run_shards
 from repro.runner.results import GridResult, RunResult
 
@@ -134,6 +152,7 @@ def execute_job(
     cache_dir: Optional[str] = None,
     registry: Optional[Registry] = None,
     progress: Optional[Callable[[str], None]] = None,
+    resume: bool = False,
 ) -> "Any":
     """Execute one :class:`~repro.service.schema.SubmitRequest` to its
     :class:`~repro.service.schema.JobResult`.
@@ -146,6 +165,14 @@ def execute_job(
     (``runner.*`` counters, an in-flight gauge, a per-run wall-time
     histogram, and the ``runner.pool_spawns`` shard-execution counter);
     ``progress`` receives human-readable one-liners.
+
+    With ``cache_dir`` set (and the request not opting out of the cache
+    via ``use_cache=False`` -- "store nothing" covers the journal too),
+    a write-ahead journal of the grid is kept at
+    :func:`~repro.runner.journal.journal_path`; ``resume=True`` replays
+    it (validating it belongs to this exact grid) so shards already
+    journaled as done are never re-executed. ``resume`` requires the
+    cache -- the journal lives next to it.
     """
     from repro.runner.entrypoints import QUICK_CONFIGS
     from repro.service.schema import JobResult
@@ -159,6 +186,11 @@ def execute_job(
         ResultCache(cache_dir, registry=registry)
         if cache_dir is not None and request.use_cache else None
     )
+    if resume and cache is None:
+        raise ValueError(
+            "resume=True requires a cache_dir (with use_cache enabled): "
+            "the job journal is kept next to the result cache"
+        )
 
     shards = build_shards(
         resolved, seed_list, override_list,
@@ -166,8 +198,24 @@ def execute_job(
     )
     total = len(shards)
     by_experiment = {e.experiment_id: e for e in resolved}
+    job_id = spec.job_id()
 
     results: Dict[int, RunResult] = {}
+    journal: Optional[JournalWriter] = None
+    if cache is not None:
+        target = journal_path(cache_dir, job_id)
+        if resume:
+            results.update(replay_grid(target, job_id, total))
+            registry.counter("runner.journal_replays").inc(len(results))
+        journal = JournalWriter(target, mode="a" if resume else "w")
+        journal.append(
+            "grid-start", schema=JOURNAL_SCHEMA, job_id=job_id,
+            total=total, spec=spec.to_dict(),
+        )
+    replayed = len(results)
+    if progress is not None and replayed:
+        progress(f"journal: {replayed}/{total} shards replayed")
+
     keys: Dict[int, str] = {}
     to_run: List[ShardSpec] = []
     for shard in shards:
@@ -176,16 +224,22 @@ def execute_job(
                 by_experiment[shard.experiment_id], shard.seed, shard.config
             )
             keys[shard.index] = key
+            if shard.index in results:
+                continue
             cached = cache.get(key)
             if cached is not None:
                 results[shard.index] = cached
                 registry.counter("runner.cache_hits").inc()
                 continue
+        elif shard.index in results:
+            continue
         to_run.append(shard)
 
     done_count = len(results)
-    if progress is not None and done_count:
-        progress(f"cache: {done_count}/{total} shards replayed")
+    if progress is not None and done_count > replayed:
+        progress(
+            f"cache: {done_count - replayed}/{total} shards replayed"
+        )
 
     in_flight = 0
     gauge = registry.gauge("runner.in_flight")
@@ -194,10 +248,17 @@ def execute_job(
     # jobs (the service keeps one for its whole lifetime).
     spawns_before = registry.counter("runner.pool_spawns").value
     retries_before = registry.counter("runner.retries").value
+    crashes_before = registry.counter("runner.worker_crashes").value
 
     def on_start(spec_: ShardSpec, attempt: int) -> None:
         nonlocal in_flight
         registry.counter("runner.pool_spawns").inc()
+        if journal is not None:
+            journal.append(
+                "shard-start", index=spec_.index,
+                experiment=spec_.experiment_id, seed=spec_.seed,
+                attempt=attempt,
+            )
         if attempt > 1:
             registry.counter("runner.retries").inc()
             if progress is not None:
@@ -218,12 +279,26 @@ def execute_job(
             registry.counter("runner.errors").inc()
         elif result.status == "timeout":
             registry.counter("runner.timeouts").inc()
+        elif result.status == "crashed":
+            registry.counter("runner.quarantined").inc()
         registry.histogram("runner.run_wall_s").observe(result.wall_s)
+        if journal is not None:
+            journal.append(
+                "shard-done", index=spec_.index, result=result.to_dict()
+            )
         if progress is not None:
             progress(
                 f"[{done_count}/{total}] {spec_.experiment_id} "
                 f"seed {spec_.seed}: {result.status} "
                 f"({result.wall_s:.2f}s, attempt {result.attempts})"
+            )
+
+    def on_crash(spec_: ShardSpec, attempt: int) -> None:
+        registry.counter("runner.worker_crashes").inc()
+        if progress is not None:
+            progress(
+                f"worker crash: {spec_.experiment_id} seed {spec_.seed} "
+                f"(attempt {attempt}); respawning"
             )
 
     fresh = run_shards(
@@ -233,6 +308,7 @@ def execute_job(
         retries=spec.retries,
         on_complete=on_complete,
         on_start=on_start,
+        on_crash=on_crash,
     )
     # run_shards returns grid order, matching to_run's ascending indexes.
     for shard, result in zip(sorted(to_run, key=lambda s: s.index), fresh):
@@ -245,17 +321,25 @@ def execute_job(
         "scheduled": total,
         "recomputed": len(fresh),
         "cache_hits": cache.hits if cache is not None else 0,
+        "journal_replayed": replayed,
         "pool_spawns": int(
             registry.counter("runner.pool_spawns").value - spawns_before
         ),
         "errors": sum(1 for r in merged if r.status == "error"),
         "timeouts": sum(1 for r in merged if r.status == "timeout"),
+        "crashed": sum(1 for r in merged if r.status == "crashed"),
+        "worker_crashes": int(
+            registry.counter("runner.worker_crashes").value - crashes_before
+        ),
         "retries": int(
             registry.counter("runner.retries").value - retries_before
         ),
     })
+    if journal is not None:
+        journal.append("grid-done", job_id=job_id, n_ok=grid.n_ok)
+        journal.close()
     job_result = JobResult(
-        job_id=spec.job_id(),
+        job_id=job_id,
         status="ok" if grid.all_ok else "failed",
         document=grid.to_dict(),
         stats=dict(grid.stats),
@@ -324,6 +408,7 @@ def run_grid(
     registry: Optional[Registry] = None,
     progress: Optional[Callable[[str], None]] = None,
     quick: bool = False,
+    resume: bool = False,
 ) -> GridResult:
     """Sweep experiments x seeds x config-overrides; return merged results.
 
@@ -336,6 +421,12 @@ def run_grid(
     problem size (:data:`~repro.runner.entrypoints.QUICK_CONFIGS`)
     under the overrides.
 
+    ``resume=True`` (requires ``cache_dir``) replays this grid's
+    write-ahead journal before consulting the cache, so a sweep killed
+    mid-run -- parent or worker -- continues from its last fsync'd
+    record and merges to the same canonical document an uninterrupted
+    run produces.
+
     A thin wrapper over :func:`execute_job` -- the same typed-request
     path the service and CLI use -- returning the live
     :class:`~repro.runner.results.GridResult`.
@@ -347,6 +438,6 @@ def run_grid(
     )
     job = execute_job(
         request, jobs=jobs, cache_dir=cache_dir,
-        registry=registry, progress=progress,
+        registry=registry, progress=progress, resume=resume,
     )
     return job.grid_live

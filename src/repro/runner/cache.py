@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.core.atomicio import atomic_write_text
 from repro.errors import RegistryError
 from repro.runner.results import RunResult
 
@@ -102,10 +103,20 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside as ``.corrupt`` and count it."""
+        """Move a corrupt entry aside as ``.corrupt`` and count it.
+
+        Concurrent readers race here: both can read the same corrupt
+        bytes, but only one rename can win. The loser's
+        ``FileNotFoundError`` means the entry is *already* quarantined
+        -- that is success, not failure, so it must neither raise nor
+        count the quarantine twice.
+        """
         try:
             path.replace(path.with_suffix(".corrupt"))
-        except OSError:  # raced away or unwritable parent: miss either way
+        except FileNotFoundError:
+            # Another reader quarantined this entry first.
+            return
+        except OSError:  # unwritable parent: the read still misses
             return
         self.quarantined += 1
         if self.registry is not None:
@@ -136,14 +147,16 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: RunResult) -> None:
-        """Store an ``ok`` result; failed shards are never cached."""
+        """Store an ``ok`` result; failed shards are never cached.
+
+        Written via :func:`repro.core.atomicio.atomic_write_text`
+        (pid-unique temp + fsync + rename), so concurrent writers of
+        the same key cannot collide on a scratch file and a crash
+        mid-write can never leave a truncated entry.
+        """
         if not result.ok:
             return
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(result.canonical_json() + "\n", encoding="utf-8")
-        tmp.replace(path)
+        atomic_write_text(self._path(key), result.canonical_json() + "\n")
 
     def __len__(self) -> int:
         if not self.root.exists():

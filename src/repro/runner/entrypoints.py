@@ -49,6 +49,7 @@ QUICK_CONFIGS: Dict[str, Dict[str, Any]] = {
     "X12": {"n_requests": 600, "n_reads": 400, "n_jobs": 10},
     "X14": {"k": 8, "n_requests": 8_000, "duration_s": 2e-3, "shards": 2},
     "X15": {"n_requests": 3_000},
+    "X16": {"inner_seeds": 2, "probe_sleep_s": 0.1, "service_sleep_s": 1.0},
 }
 
 
@@ -746,3 +747,38 @@ def run_x15(config: Mapping[str, Any], seed: int) -> RunResult:
         },
     )
     return _result("X15", seed, cfg, metrics)
+
+
+def run_x16(config: Mapping[str, Any], seed: int) -> RunResult:
+    """X16: the self-chaos harness -- crash-safety on the real stack.
+
+    In its default mode this runs the full kill schedule of
+    :func:`repro.workloads.self_chaos_exhibit`: SIGKILL pool workers
+    mid-shard, SIGKILL a real ``repro run`` subprocess mid-grid and
+    resume it from the write-ahead journal, SIGKILL a real
+    ``repro serve`` mid-job and recover it on restart -- reporting
+    byte-identity and containment verdicts as metrics.
+
+    With ``probe=True`` the entrypoint is instead the trivial
+    deterministic shard the harness uses as its *inner* workload
+    (:func:`repro.workloads.selfchaos.probe_metrics`), so X16 can drive
+    itself through the registry without recursion.
+    """
+    from repro.workloads.selfchaos import (
+        CHAOS_DEFAULTS,
+        probe_metrics,
+        self_chaos_exhibit,
+    )
+
+    cfg = _merge(
+        {"probe": False, "sleep_s": 0.0, "crash_marker_dir": None,
+         **CHAOS_DEFAULTS},
+        config,
+    )
+    if cfg["probe"]:
+        return _result("X16", seed, cfg, probe_metrics(cfg, seed))
+    metrics = self_chaos_exhibit(
+        seed=seed,
+        overrides={key: cfg[key] for key in CHAOS_DEFAULTS},
+    )
+    return _result("X16", seed, cfg, metrics)

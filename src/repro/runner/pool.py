@@ -9,6 +9,18 @@ its traceback; a shard that exceeds the per-run timeout is terminated
 and recorded as ``timeout``; both are retried up to ``retries`` times
 before the failure is accepted into the sweep.
 
+Hard worker death is a third, distinct failure class: the child
+process vanished (SIGKILL, OOM-kill, a segfault in native code) without
+reporting a result, detected as EOF on the result pipe. The pool
+contains it -- the dead worker's slot is simply relaunched for the next
+queued attempt, sibling shards keep running -- and retries the shard
+under the same ``retries`` budget. A shard that kills its worker
+**twice** is quarantined as ``crashed`` immediately, whatever budget
+remains: two hard deaths mean the shard itself is the bullet, and
+feeding it more workers would poison the whole grid. Timeouts are never
+confused with crashes; a timeout is the *parent* terminating the child,
+recorded before the pipe closes.
+
 Results are returned in grid order (by :attr:`ShardSpec.index`), never
 completion order, so a multi-worker sweep merges identically to a
 serial one. ``jobs=1`` executes inline in the calling process -- the
@@ -30,6 +42,10 @@ from repro.runner.results import RunResult
 
 #: Seconds between liveness polls of in-flight workers.
 _POLL_INTERVAL_S = 0.05
+
+#: Hard worker deaths a single shard may cause before it is quarantined
+#: as ``crashed`` regardless of remaining retry budget.
+_CRASH_QUARANTINE_AT = 2
 
 
 @dataclass(frozen=True)
@@ -130,6 +146,7 @@ def run_shards(
     retries: int = 1,
     on_complete: Optional[Callable[[ShardSpec, RunResult], None]] = None,
     on_start: Optional[Callable[[ShardSpec, int], None]] = None,
+    on_crash: Optional[Callable[[ShardSpec, int], None]] = None,
 ) -> List[RunResult]:
     """Execute ``shards`` and return their results in grid order.
 
@@ -138,6 +155,10 @@ def run_shards(
     ``retries`` is the number of *re*-attempts after a failure, so every
     shard runs at most ``retries + 1`` times. ``on_start`` /
     ``on_complete`` are progress hooks invoked in the parent.
+    ``on_crash(spec, attempt)`` fires in the parent each time a worker
+    process dies without reporting a result (pooled mode only: inline
+    execution shares the caller's process, so a hard crash there takes
+    the caller with it and cannot be contained).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -149,7 +170,7 @@ def run_shards(
     if jobs == 1:
         return _run_inline(shards, retries, on_complete, on_start)
     return _run_pooled(
-        shards, jobs, timeout_s, retries, on_complete, on_start
+        shards, jobs, timeout_s, retries, on_complete, on_start, on_crash
     )
 
 
@@ -173,7 +194,7 @@ def _run_inline(shards, retries, on_complete, on_start) -> List[RunResult]:
 
 
 def _run_pooled(
-    shards, jobs, timeout_s, retries, on_complete, on_start
+    shards, jobs, timeout_s, retries, on_complete, on_start, on_crash=None
 ) -> List[RunResult]:
     context = _mp_context()
     queue: List[tuple] = [
@@ -181,6 +202,7 @@ def _run_pooled(
     ]
     in_flight: List[_InFlight] = []
     done: Dict[int, RunResult] = {}
+    crash_counts: Dict[int, int] = {}
 
     def launch(spec: ShardSpec, attempt: int) -> None:
         parent_conn, child_conn = context.Pipe(duplex=False)
@@ -197,10 +219,31 @@ def _run_pooled(
         )
 
     def settle(flight: _InFlight, result: RunResult) -> None:
-        """Record an attempt's outcome: requeue, or accept the result."""
-        result.attempts = flight.attempt
+        """Record an attempt's outcome: requeue, or accept the result.
+
+        A shard at the crash-quarantine threshold is accepted as its
+        final ``crashed`` result even with retry budget left -- a shard
+        that keeps killing workers must not keep consuming them.
+
+        ``attempts`` on a non-crashed result excludes attempts whose
+        worker was vaporized before reporting: an external SIGKILL is
+        infrastructure noise, not a verdict from the shard, and counting
+        it would make a chaos-interrupted grid serialize differently
+        from the clean run (``attempts`` is a canonical results.json
+        field). Crash events are still fully visible via ``on_crash``
+        and the journal.
+        """
+        crashes = crash_counts.get(flight.spec.index, 0)
+        if result.status == "crashed":
+            result.attempts = flight.attempt
+        else:
+            result.attempts = max(1, flight.attempt - crashes)
         result.wall_s = time.perf_counter() - flight.started
-        if not result.ok and flight.attempt <= retries:
+        quarantined = (
+            result.status == "crashed"
+            and crash_counts.get(flight.spec.index, 0) >= _CRASH_QUARANTINE_AT
+        )
+        if not result.ok and not quarantined and flight.attempt <= retries:
             queue.append((flight.spec, flight.attempt + 1))
             return
         done[flight.spec.index] = result
@@ -224,12 +267,26 @@ def _run_pooled(
                     try:
                         result = flight.conn.recv()
                     except EOFError:
-                        # The child died before sending (crash, kill).
+                        # Hard worker death: the child vanished (SIGKILL,
+                        # OOM, segfault) without sending a result. This
+                        # is a crash, never a timeout -- timeouts are
+                        # parent-initiated terminations handled below.
                         flight.process.join()
+                        index = flight.spec.index
+                        crash_counts[index] = crash_counts.get(index, 0) + 1
+                        if on_crash is not None:
+                            on_crash(flight.spec, flight.attempt)
+                        exitcode = flight.process.exitcode
+                        cause = (
+                            f"killed by signal {-exitcode}"
+                            if exitcode is not None and exitcode < 0
+                            else f"exit code {exitcode}"
+                        )
                         result = _failure(
-                            flight.spec, "error",
+                            flight.spec, "crashed",
                             "worker process died before reporting a result "
-                            f"(exit code {flight.process.exitcode})",
+                            f"({cause}, attempt {flight.attempt}, "
+                            f"crash {crash_counts[index]} for this shard)",
                         )
                     finished.append(flight)
                     flight.process.join()

@@ -3,8 +3,11 @@
 A :class:`RunResult` is the unit of output of one experiment shard --
 one ``(experiment, seed, config)`` execution. It carries the headline
 metrics the experiment produced plus the execution status (``ok``,
-``error`` or ``timeout``) and, for failed shards, the captured
-traceback, so a sweep never dies with a half-written report.
+``error``, ``timeout`` or ``crashed``) and, for failed shards, the
+captured traceback, so a sweep never dies with a half-written report.
+``crashed`` is the hard-death state: the worker process executing the
+shard died without reporting (SIGKILL, OOM) on enough attempts that the
+pool quarantined the shard rather than keep feeding it workers.
 
 A :class:`GridResult` is the merged output of a whole sweep. Its JSON
 serialization is *canonical*: shards are ordered by grid position and
@@ -21,8 +24,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-#: The three terminal shard states.
-RUN_STATUSES = ("ok", "error", "timeout")
+from repro.core.atomicio import atomic_write_json
+
+#: The terminal shard states. ``crashed`` means the shard repeatedly
+#: killed its worker process and was quarantined by the pool.
+RUN_STATUSES = ("ok", "error", "timeout", "crashed")
 
 #: Identifier of the canonical merged-results document format.
 RESULTS_SCHEMA = "repro.runner/results/v1"
@@ -166,11 +172,10 @@ class GridResult:
         )
 
     def write_json(self, path: "str | Path") -> Path:
-        """Write the canonical merged document to ``path``."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
-        return target
+        """Atomically write the canonical merged document to ``path``.
+
+        Routed through :func:`repro.core.atomicio.atomic_write_json` so
+        an interrupted run never leaves a truncated ``results.json`` --
+        the previous artifact survives until the new one is complete.
+        """
+        return atomic_write_json(Path(path), self.to_dict())

@@ -35,10 +35,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ServiceError
 
 #: The wire-format version: ``MAJOR.MINOR``. Peers must match MAJOR.
-SCHEMA_VERSION = "1.0"
+#: 1.1 added the ``recovered`` job state (crash-recovery re-admission).
+SCHEMA_VERSION = "1.1"
 
-#: Terminal and in-flight job states the service reports.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Terminal and in-flight job states the service reports. ``recovered``
+#: is the in-flight state of a job re-admitted from the service journal
+#: after a restart, before its grid starts running again.
+JOB_STATES = ("queued", "recovered", "running", "done", "failed")
 
 
 def _require(condition: bool, message: str) -> None:

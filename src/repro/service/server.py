@@ -23,6 +23,15 @@ experiment compute). The moving parts:
   transitions, runner heartbeats, execution spans); subscribers get the
   backlog plus live events over a WebSocket, and a subscriber
   disconnecting never touches the job or its pool workers.
+- **Crash recovery** -- with a ``cache_dir`` configured, every accepted
+  job is appended to a write-ahead service journal
+  (``<cache_dir>/service-journal.jsonl``, fsync'd before the 202 goes
+  out) and journaled again on completion. A restarted service replays
+  the journal and re-admits every job that was accepted but never
+  finished, in the wire-visible ``recovered`` state; shards those jobs
+  completed before the crash resolve from the result cache and the
+  grid journal, so recovery re-spawns zero pool workers for finished
+  work. Recovered jobs count into ``service.jobs_recovered``.
 
 Endpoints (all responses are ``schema_version``-stamped JSON):
 
@@ -48,10 +57,12 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.observability import Registry
 from repro.errors import ReproError, ServiceError
+from repro.runner.journal import JournalWriter, read_journal
 from repro.service import wire
 from repro.service.schema import (
     SCHEMA_VERSION,
@@ -81,8 +92,13 @@ class Job:
 
     @property
     def active(self) -> bool:
-        """Whether the job is still queued or running (coalescable)."""
-        return self.state in ("queued", "running")
+        """Whether the job is still in flight (coalescable).
+
+        ``recovered`` counts: a re-admitted job is awaiting execution
+        exactly like a queued one, so repeat submissions must attach to
+        it rather than duplicate the run.
+        """
+        return self.state in ("queued", "recovered", "running")
 
     def publish(self, event: Dict[str, Any]) -> None:
         """Append ``event`` to the log and fan it out to subscribers.
@@ -163,11 +179,25 @@ class ExperimentService:
         self._active_sem: Optional[asyncio.Semaphore] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stopping: Optional[asyncio.Event] = None
+        self._journal: Optional[JournalWriter] = None
+        self._killed = False
+
+    def journal_path(self) -> Optional[Path]:
+        """Where the service's write-ahead job journal lives (or None)."""
+        if self.cache_dir is None:
+            return None
+        return Path(self.cache_dir) / "service-journal.jsonl"
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting; returns the bound ``(host, port)``."""
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        With a ``cache_dir`` configured, first replays the service
+        journal and re-admits every job that was accepted but never
+        reached a terminal state (:meth:`recover_jobs`), so work
+        survives a service crash or kill.
+        """
         self._loop = asyncio.get_running_loop()
         self._active_sem = asyncio.Semaphore(self.max_active)
         self._executor = ThreadPoolExecutor(
@@ -175,6 +205,13 @@ class ExperimentService:
             thread_name_prefix="repro-service-grid",
         )
         self._stopping = asyncio.Event()
+        target = self.journal_path()
+        if target is not None:
+            # Append mode always: the journal is the service's history
+            # across restarts, and recovery depends on the previous
+            # incarnation's records staying in place.
+            self._journal = JournalWriter(target, mode="a")
+            self.recover_jobs()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
@@ -182,22 +219,85 @@ class ExperimentService:
         self.port = sockname[1]
         return sockname[0], sockname[1]
 
+    def recover_jobs(self) -> int:
+        """Re-admit journaled jobs that never finished; returns the count.
+
+        Replays ``job-accepted`` / ``job-done`` records (last state
+        wins per job id): a job accepted without a matching done record
+        was in flight when the previous incarnation died, so it is
+        re-created in the ``recovered`` state -- bypassing admission
+        caps, which it already passed once -- and handed straight back
+        to the executor. Shards it completed before the crash resolve
+        from the result cache, so recovery never re-spawns pool workers
+        for finished work. Undecodable requests are skipped (counted as
+        ``service.recover_skipped``), and a corrupt journal interior
+        surfaces as :class:`~repro.errors.JournalError`.
+        """
+        target = self.journal_path()
+        if target is None:
+            return 0
+        replay = read_journal(target)
+        pending: Dict[str, Dict[str, Any]] = {}
+        for record in replay.records:
+            job_id = str(record.get("job_id", ""))
+            if record.get("kind") == "job-accepted":
+                pending[job_id] = record
+            elif record.get("kind") == "job-done":
+                pending.pop(job_id, None)
+        recovered = 0
+        for job_id, record in pending.items():
+            try:
+                submit = SubmitRequest.from_dict(record.get("request"))
+            except (ServiceError, ReproError, TypeError):
+                self.registry.counter("service.recover_skipped").inc()
+                continue
+            job = Job(job_id, submit)
+            job.state = "recovered"
+            self.job_table[job_id] = job
+            job.publish({
+                "type": "status",
+                "state": "recovered",
+                "note": "re-admitted from the service journal",
+            })
+            assert self._loop is not None
+            job.task = self._loop.create_task(self._run_job(job))
+            self.registry.counter("service.jobs_recovered").inc()
+            recovered += 1
+        return recovered
+
     async def serve_until_stopped(self) -> None:
-        """Serve until :meth:`request_stop`; drain jobs before returning."""
+        """Serve until :meth:`request_stop`; drain jobs before returning.
+
+        After :meth:`request_kill` the drain is skipped -- the hard-stop
+        path used to simulate a service crash in tests.
+        """
         assert self._stopping is not None
         await self._stopping.wait()
-        await self.drain()
+        if not self._killed:
+            await self.drain()
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
         assert self._executor is not None
-        self._executor.shutdown(wait=True)
+        self._executor.shutdown(wait=not self._killed, cancel_futures=self._killed)
+        if self._journal is not None:
+            self._journal.close()
 
     def request_stop(self) -> None:
         """Stop accepting new jobs and begin graceful shutdown."""
         self.accepting = False
         if self._stopping is not None:
             self._stopping.set()
+
+    def request_kill(self) -> None:
+        """Hard-stop: abandon in-flight jobs without draining.
+
+        The journal keeps their ``job-accepted`` records un-terminated,
+        which is exactly what :meth:`recover_jobs` re-admits on the next
+        start -- the in-process stand-in for SIGKILLing ``repro serve``.
+        """
+        self._killed = True
+        self.request_stop()
 
     async def drain(self) -> None:
         """Wait for every in-flight job task to reach a terminal state."""
@@ -378,6 +478,13 @@ class ExperimentService:
 
         job = Job(job_id, submit)
         self.job_table[job_id] = job
+        if self._journal is not None:
+            # Write-ahead: the acceptance is durable before the 202 is
+            # even built, so a crash at any later instant leaves a
+            # journal record recovery can re-admit.
+            self._journal.append(
+                "job-accepted", job_id=job_id, request=submit.to_dict()
+            )
         job.publish({"type": "status", "state": "queued"})
         assert self._loop is not None
         job.task = self._loop.create_task(self._run_job(job))
@@ -389,9 +496,14 @@ class ExperimentService:
 
         def heartbeat(message: str) -> None:
             # Called on the grid-executor thread; marshal to the loop.
-            loop.call_soon_threadsafe(
-                job.publish, {"type": "heartbeat", "message": message}
-            )
+            # A killed loop must not take the grid down with it -- the
+            # run's durable state lives in the cache and journals.
+            try:
+                loop.call_soon_threadsafe(
+                    job.publish, {"type": "heartbeat", "message": message}
+                )
+            except RuntimeError:  # loop closed mid-run (hard stop)
+                pass
 
         async with self._active_sem:
             job.state = "running"
@@ -421,6 +533,10 @@ class ExperimentService:
                 self.registry.counter(
                     "service.completed" if result.ok else "service.failed"
                 ).inc()
+            if self._journal is not None:
+                self._journal.append(
+                    "job-done", job_id=job.job_id, state=job.state
+                )
             run_ended = time.perf_counter() - job.started
             job.publish({
                 "type": "span",
@@ -535,6 +651,24 @@ class ServiceHandle:
         if self.thread.is_alive():
             raise ServiceError(
                 f"service thread did not stop within {timeout_s}s",
+                code="connection",
+            )
+
+    def kill(self, timeout_s: float = 30.0) -> None:
+        """Hard-stop without draining, abandoning in-flight jobs.
+
+        The in-process equivalent of SIGKILLing ``repro serve``: jobs
+        the journal recorded as accepted but not done stay that way, so
+        the next service started on the same ``cache_dir`` re-admits
+        them. For tests of the recovery path.
+        """
+        loop = self.service._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.service.request_kill)
+        self.thread.join(timeout=timeout_s)
+        if self.thread.is_alive():
+            raise ServiceError(
+                f"service thread did not die within {timeout_s}s",
                 code="connection",
             )
 

@@ -3,8 +3,9 @@
 Seeded synthetic data (Zipf text, clickstreams, relational tables,
 sensor/science streams, web graphs), the five-workload standard suite,
 the Catapult-style search service (E2), the HPC/Big Data convergence
-trigger pipeline (E14) and the experiment-service admission model under
-planetary traffic (X15).
+trigger pipeline (E14), the experiment-service admission model under
+planetary traffic (X15) and the self-chaos crash-recovery harness that
+SIGKILLs the reproduction stack itself (X16).
 """
 
 from repro.workloads.chaos import (
@@ -43,6 +44,11 @@ from repro.workloads.search import (
     run_search_service,
     tail_latency_reduction,
 )
+from repro.workloads.selfchaos import (
+    CHAOS_DEFAULTS,
+    probe_metrics,
+    self_chaos_exhibit,
+)
 from repro.workloads.servicesim import (
     ADMISSION_POLICIES,
     run_service_traffic,
@@ -65,6 +71,7 @@ __all__ = [
     "ADMISSION_POLICIES",
     "BenchmarkDefinition",
     "BenchmarkScore",
+    "CHAOS_DEFAULTS",
     "EdgeScenario",
     "FabricRunResult",
     "FabricWorkload",
@@ -82,6 +89,7 @@ __all__ = [
     "gaussian_blobs",
     "latency_summary",
     "max_qps_within_sla",
+    "probe_metrics",
     "run_memory_chaos",
     "run_scheduler_chaos",
     "run_search_chaos",
@@ -91,6 +99,7 @@ __all__ = [
     "run_trigger_pipeline",
     "sales_table",
     "science_events",
+    "self_chaos_exhibit",
     "sensor_readings",
     "service_exhibit",
     "simulate_fabric",

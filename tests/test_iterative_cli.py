@@ -100,7 +100,7 @@ class TestCli:
         assert main(["summary"]) == 0
         out = capsys.readouterr().out
         assert "rethinkbig" in out
-        assert "experiments: 32" in out
+        assert "experiments: 33" in out
 
     def test_summary_json_line(self, capsys):
         import json
@@ -108,9 +108,9 @@ class TestCli:
         assert main(["summary"]) == 0
         last = capsys.readouterr().out.strip().splitlines()[-1]
         record = json.loads(last)
-        assert record["schema_version"] == "1.0"
+        assert record["schema_version"] == "1.1"
         assert record["command"] == "summary"
-        assert record["experiments"] == 32
+        assert record["experiments"] == 33
 
     def test_findings(self, capsys):
         assert main(["findings"]) == 0

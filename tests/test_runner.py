@@ -250,6 +250,63 @@ class TestCache:
         run_grid(["E4"], seeds=1, cache_dir=cache_dir, use_cache=False)
         assert not cache_dir.exists()
 
+    def test_concurrent_quarantine_race_tolerated(self, tmp_path):
+        # Two readers hit the same corrupt entry; whoever loses the
+        # rename race must treat "already quarantined" as success --
+        # not raise, not double-count.
+        from repro.engine import Registry
+
+        registry = Registry()
+        reader_a = ResultCache(tmp_path / "cache", registry=registry)
+        reader_b = ResultCache(tmp_path / "cache", registry=registry)
+        key = "d" * 64
+        reader_a.put(key, RunResult(experiment_id="E4", seed=0))
+        path = reader_a.root / key[:2] / f"{key}.json"
+        path.write_text("{torn", encoding="utf-8")
+        assert reader_a.get(key) is None      # wins the rename
+        # Reader B read the same corrupt bytes before A renamed; its
+        # quarantine now loses the race and must be a silent success.
+        reader_b._quarantine(path)
+        assert reader_b.get(key) is None
+        assert reader_a.quarantined == 1
+        assert reader_b.quarantined == 0
+        assert registry.counter("runner.cache_corrupt").value == 1
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_quarantine_of_already_missing_entry_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        missing = cache.root / "ee" / f"{'e' * 64}.json"
+        cache._quarantine(missing)
+        assert cache.quarantined == 0
+
+    def test_concurrent_writers_of_one_key_cannot_collide(self, tmp_path):
+        # put() goes through atomic_write_text with (pid, serial)-unique
+        # scratch names: parallel writers of the same key must all
+        # succeed and leave one complete, readable entry.
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "f" * 64
+        result = RunResult(experiment_id="E4", seed=0, metrics={"m": 1})
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    cache.put(key, result)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        entry = cache.get(key)
+        assert entry is not None
+        assert entry.metrics == {"m": 1}
+
 
 # ---------------------------------------------------------------------------
 # failure handling: errors, timeouts, retries

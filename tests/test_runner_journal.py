@@ -1,0 +1,212 @@
+"""The write-ahead job journal: encoding, torn tails, grid replay.
+
+The satellite contract under test: a journal truncated at *any* byte
+offset inside its final record replays cleanly (the torn record is
+dropped and reported), while a bad record *followed by more data* is
+hard corruption and raises :class:`~repro.errors.JournalError` naming
+the byte offset.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.runner.journal import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    decode_record,
+    encode_record,
+    journal_path,
+    read_journal,
+    replay_grid,
+)
+from repro.runner.results import RunResult
+
+
+def _write_records(path, records):
+    with JournalWriter(path) as journal:
+        for record in records:
+            fields = {k: v for k, v in record.items() if k != "kind"}
+            journal.append(record["kind"], **fields)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = {"kind": "shard-done", "index": 3, "result": {"ok": True}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_checksum_mismatch_rejected(self):
+        line = encode_record({"kind": "grid-start", "total": 4})
+        crc, payload = line.split(" ", 1)
+        flipped = ("0" * len(crc)) + " " + payload
+        with pytest.raises(ValueError, match="checksum"):
+            decode_record(flipped)
+
+    def test_missing_checksum_prefix_rejected(self):
+        with pytest.raises(ValueError, match="checksum"):
+            decode_record('{"kind":"grid-start"}\n')
+
+    def test_non_object_payload_rejected(self):
+        import hashlib
+        payload = json.dumps([1, 2, 3], separators=(",", ":"))
+        crc = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        with pytest.raises(ValueError, match="not an object"):
+            decode_record(f"{crc} {payload}\n")
+
+
+class TestJournalWriter:
+    def test_appends_are_readable_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_records(path, [
+            {"kind": "grid-start", "schema": JOURNAL_SCHEMA, "total": 2},
+            {"kind": "shard-start", "index": 0},
+            {"kind": "shard-done", "index": 0},
+        ])
+        replay = read_journal(path)
+        assert [r["kind"] for r in replay.records] == [
+            "grid-start", "shard-start", "shard-done",
+        ]
+        assert replay.torn_tail_offset is None
+
+    def test_append_mode_extends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_records(path, [{"kind": "grid-start", "total": 1}])
+        with JournalWriter(path, mode="a") as journal:
+            journal.append("grid-done")
+        assert [r["kind"] for r in read_journal(path).records] == [
+            "grid-start", "grid-done",
+        ]
+
+    def test_append_mode_heals_torn_tail(self, tmp_path):
+        # A crash mid-append leaves a partial final line; re-opening the
+        # journal for append must drop it, or the next record lands
+        # mid-line and the file becomes unreadable.
+        path = tmp_path / "j.jsonl"
+        _write_records(path, [
+            {"kind": "grid-start", "total": 1},
+            {"kind": "shard-done", "index": 0},
+        ])
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])  # tear the shard-done record
+        with JournalWriter(path, mode="a") as journal:
+            journal.append("grid-done")
+        replay = read_journal(path)
+        assert replay.torn_tail_offset is None
+        assert [r["kind"] for r in replay.records] == [
+            "grid-start", "grid-done",
+        ]
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            JournalWriter(tmp_path / "j.jsonl", mode="r")
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        replay = read_journal(tmp_path / "nope.jsonl")
+        assert replay.records == []
+        assert replay.torn_tail_offset is None
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_offset(self, tmp_path):
+        """The satellite contract, exhaustively.
+
+        For every prefix of the file: either the cut lands on a record
+        boundary (clean replay, no torn tail) or inside the final
+        record (that record is dropped and reported at its start
+        offset). No prefix may raise.
+        """
+        path = tmp_path / "j.jsonl"
+        _write_records(path, [
+            {"kind": "grid-start", "schema": JOURNAL_SCHEMA, "total": 2},
+            {"kind": "shard-done", "index": 0, "result": {"status": "ok"}},
+            {"kind": "grid-done", "n_ok": 2},
+        ])
+        blob = path.read_bytes()
+        boundaries = [0]
+        offset = 0
+        for line in blob.splitlines(keepends=True):
+            offset += len(line)
+            boundaries.append(offset)
+        for cut in range(len(blob) + 1):
+            torn = tmp_path / "torn.jsonl"
+            torn.write_bytes(blob[:cut])
+            replay = read_journal(torn)
+            if cut in boundaries:
+                assert replay.torn_tail_offset is None, cut
+                assert len(replay.records) == boundaries.index(cut)
+            else:
+                start = max(b for b in boundaries if b < cut)
+                assert replay.torn_tail_offset == start, cut
+                assert len(replay.records) == boundaries.index(start)
+
+    def test_interior_corruption_names_the_offset(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_records(path, [
+            {"kind": "grid-start", "total": 2},
+            {"kind": "shard-done", "index": 0},
+            {"kind": "grid-done"},
+        ])
+        blob = path.read_bytes()
+        first_len = blob.index(b"\n") + 1
+        # Flip a payload byte of the *second* record: bad record with
+        # data after it is corruption, not a crash artifact.
+        corrupt = bytearray(blob)
+        corrupt[first_len + 20] ^= 0xFF
+        path.write_bytes(bytes(corrupt))
+        with pytest.raises(JournalError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.offset == first_len
+        assert str(first_len) in str(excinfo.value)
+
+
+class TestReplayGrid:
+    def _done(self, path, index, seed, job_id="job-1", total=2):
+        result = RunResult(experiment_id="E1", seed=seed,
+                           metrics={"m": index})
+        with JournalWriter(path, mode="a") as journal:
+            if not path.exists() or index == 0:
+                journal.append("grid-start", schema=JOURNAL_SCHEMA,
+                               job_id=job_id, total=total, spec={})
+            journal.append("shard-done", index=index,
+                           result=result.to_dict())
+        return result
+
+    def test_replays_completed_shards(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        expected = self._done(path, 0, seed=7)
+        done = replay_grid(path, "job-1", total=2)
+        assert set(done) == {0}
+        assert done[0].seed == 7
+        assert done[0].to_dict() == expected.to_dict()
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert replay_grid(tmp_path / "nope.jsonl", "job-1", 4) == {}
+
+    def test_wrong_grid_identity_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._done(path, 0, seed=0, job_id="job-1", total=2)
+        with pytest.raises(JournalError, match="belongs to grid"):
+            replay_grid(path, "job-2", total=2)
+        with pytest.raises(JournalError, match="belongs to grid"):
+            replay_grid(path, "job-1", total=5)
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._done(path, 0, seed=0)
+        result = RunResult(experiment_id="E1", seed=1)
+        with JournalWriter(path, mode="a") as journal:
+            journal.append("shard-done", index=9, result=result.to_dict())
+        with pytest.raises(JournalError, match="outside"):
+            replay_grid(path, "job-1", total=2)
+
+    def test_journal_without_grid_start_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as journal:
+            journal.append("shard-done", index=0, result={})
+        with pytest.raises(JournalError, match="no grid-start"):
+            replay_grid(path, "job-1", total=1)
+
+    def test_journal_paths_fan_out_under_cache(self, tmp_path):
+        path = journal_path(tmp_path, "abc123")
+        assert path == tmp_path / "journal" / "abc123.jsonl"
