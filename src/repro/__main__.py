@@ -32,12 +32,15 @@ Commands:
   ``--no-retry``, ``--wait-s``.
 - ``perf``         -- run the pinned perf microbenches (production
   kernel vs frozen pre-fast-path reference, plus the sharded engine vs
-  the sequential one); write ``BENCH_engine.json``, ``BENCH_models.json``,
-  ``BENCH_network.json`` and ``BENCH_sharded.json``, and append a
-  summary line to ``benchmarks/BENCH_history.jsonl``. Positional suite
-  ids (``engine``, ``models``, ``network``, ``sharded``) restrict the
-  run; ``--list`` prints every suite/bench with its pinned floors; an
-  unknown id is an error printing that same listing, like ``trace``.
+  the sequential one and the vectorized traffic scenarios vs the frozen
+  scalar generator); write ``BENCH_engine.json``, ``BENCH_models.json``,
+  ``BENCH_network.json``, ``BENCH_sharded.json`` and
+  ``BENCH_traffic.json``, and append a summary line to
+  ``benchmarks/BENCH_history.jsonl``. Positional suite ids (``engine``,
+  ``models``, ``network``, ``sharded``, ``traffic``) restrict the run;
+  ``--list`` prints every suite/bench with its committed-baseline path
+  and pinned floors; an unknown id is an error printing that same
+  listing, like ``trace``.
 
 The commands share argument conventions: experiments and suites resolve
 through a registry (so misspelled ids list the valid set), artifacts

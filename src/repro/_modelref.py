@@ -33,6 +33,8 @@ import numpy as np
 
 __all__ = [
     "reference_adoption_paths",
+    "reference_arrival_times",
+    "reference_client_ids",
     "reference_commodity_year_samples",
     "reference_cost_per_unit_curve",
     "reference_hhi",
@@ -40,6 +42,7 @@ __all__ = [
     "reference_payback_sweep",
     "reference_sampled_market_shares",
     "reference_sampled_unit_costs",
+    "reference_session_lengths",
     "reference_theme_statistics",
     "reference_tornado",
 ]
@@ -412,3 +415,137 @@ def reference_theme_statistics(
             stats[f"fraction.{role}"] = role_hits.get(role, 0) / count
         out[theme] = stats
     return out
+
+
+# ---------------------------------------------------------------------------
+# Traffic-scenario generators (mc/traffic.py pre-vectorization).
+# ---------------------------------------------------------------------------
+
+_TWO_PI = 2.0 * np.pi
+
+
+def reference_arrival_times(
+    base_rate_hz: float,
+    horizon_s: float,
+    diurnal_amplitude: float,
+    diurnal_period_s: float,
+    flash_crowds: Sequence[Tuple[float, float, float, float, float]],
+    burst_multiplier: float,
+    burst_mean_s: float,
+    calm_mean_s: float,
+    seed: int,
+) -> np.ndarray:
+    """Scalar-loop inhomogeneous-Poisson thinning (one candidate at a time).
+
+    Frozen copy of the pre-vectorization scenario generator: the same
+    draw order as :func:`repro.mc.traffic.arrival_times` (one Poisson
+    count, per-candidate uniforms, the MMPP switch loop, per-candidate
+    acceptance uniforms) with the rate function -- diurnal sinusoid,
+    additive flash-crowd excess, burst-state multiplier -- evaluated in
+    pure Python per candidate. ``flash_crowds`` entries are
+    ``(start_s, ramp_s, peak_multiplier, decay_s, hold_s)`` tuples.
+    """
+    rng = np.random.default_rng(int(seed))
+    lam_max = base_rate_hz * (1.0 + diurnal_amplitude)
+    boost = 0.0
+    for _start, _ramp, peak, _decay, _hold in flash_crowds:
+        boost = boost + (peak - 1.0)
+    lam_max = lam_max * (1.0 + boost)
+    bursty = burst_multiplier > 1.0
+    if bursty:
+        lam_max = lam_max * burst_multiplier
+    m = int(rng.poisson(lam_max * horizon_s))
+    if m == 0:
+        return np.empty(0, dtype=np.float64)
+    candidates = np.sort(
+        np.array([rng.random() * horizon_s for _ in range(m)])
+    )
+    edges = np.empty(0, dtype=np.float64)
+    if bursty:
+        edge_list = []
+        t_edge = 0.0
+        in_burst = False
+        while t_edge < horizon_s:
+            mean = burst_mean_s if in_burst else calm_mean_s
+            t_edge += float(rng.exponential(mean))
+            edge_list.append(t_edge)
+            in_burst = not in_burst
+        edges = np.asarray(edge_list, dtype=np.float64)
+    accepted: List[float] = []
+    for t in candidates:
+        if diurnal_amplitude == 0.0:
+            diurnal = 1.0
+        else:
+            diurnal = 1.0 + diurnal_amplitude * np.sin(
+                _TWO_PI * (t / diurnal_period_s)
+            )
+        flash = 1.0
+        for start, ramp, peak, decay, hold in flash_crowds:
+            rel = t - start
+            shape = rel / ramp
+            if shape < 0.0:
+                shape = 0.0
+            elif shape > 1.0:
+                shape = 1.0
+            tail_rel = rel - (ramp + hold)
+            if tail_rel > 0.0:
+                shape = np.exp(-tail_rel / decay)
+            flash = flash + (peak - 1.0) * shape
+        rate = base_rate_hz * diurnal
+        rate = rate * flash
+        if bursty:
+            interval = int(np.searchsorted(edges, t, side="right"))
+            rate = rate * (burst_multiplier if interval & 1 else 1.0)
+        if rng.random() * lam_max < rate:
+            accepted.append(float(t))
+    return np.asarray(accepted, dtype=np.float64)
+
+
+def reference_session_lengths(
+    tail: str,
+    median_s: float,
+    sigma: float,
+    shape: float,
+    scale_s: float,
+    n: int,
+    seed: int,
+) -> np.ndarray:
+    """Scalar-loop heavy-tailed session lengths (one draw per session).
+
+    Same parameterization and stream as
+    :func:`repro.mc.traffic.session_lengths`: lognormal by median and
+    log-space sigma, Pareto by shape and scale with minimum ``scale``.
+    """
+    rng = np.random.default_rng(int(seed))
+    if tail == "lognormal":
+        log_median = np.log(median_s)
+        return np.array(
+            [rng.lognormal(log_median, sigma) for _ in range(n)],
+            dtype=np.float64,
+        )
+    return np.array(
+        [scale_s * (1.0 + rng.pareto(shape)) for _ in range(n)],
+        dtype=np.float64,
+    )
+
+
+def reference_client_ids(
+    n_clients: int,
+    skew: float,
+    n: int,
+    seed: int,
+) -> np.ndarray:
+    """Scalar-loop Zipf client ids (one CDF inversion per arrival).
+
+    Same rank-CDF construction and uniform stream as
+    :func:`repro.mc.traffic.client_ids`, inverted one draw at a time.
+    """
+    rng = np.random.default_rng(int(seed))
+    ranks = np.arange(1, n_clients + 1, dtype=np.float64)
+    weights = ranks**-skew
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.asarray(
+        [int(np.searchsorted(cdf, rng.random(), side="right")) for _ in range(n)],
+        dtype=np.int64,
+    )

@@ -15,8 +15,12 @@ bit equal to the frozen scalar references in :mod:`repro._modelref`
 Modules: :mod:`~repro.mc.sampling` (parameter sampling),
 :mod:`~repro.mc.roi` (ROI cashflow kernels), :mod:`~repro.mc.scenarios`
 (commodity-year forecasts), :mod:`~repro.mc.soc_sip` (silicon cost
-curves), :mod:`~repro.mc.market` (HHI / Bass adoption paths), and
-:mod:`~repro.mc.survey` (corpus statistics).
+curves), :mod:`~repro.mc.market` (HHI / Bass adoption paths),
+:mod:`~repro.mc.survey` (corpus statistics), and
+:mod:`~repro.mc.traffic` (million-user traffic-scenario traces:
+declarative :class:`~repro.mc.traffic.ScenarioSpec` composition,
+inhomogeneous-Poisson thinning, heavy-tailed sessions, Zipf client
+skew).
 """
 
 from repro.mc.market import bass_adoption_paths, hhi_batch, sampled_market_shares
@@ -35,9 +39,24 @@ from repro.mc.sampling import uniform_parameter_samples
 from repro.mc.scenarios import commodity_year_samples, trl_weighted_steps
 from repro.mc.soc_sip import cost_per_unit_curve, die_cost_batch, sampled_unit_costs
 from repro.mc.survey import theme_matrix, theme_statistics
+from repro.mc.traffic import (
+    FlashCrowd,
+    ScenarioSpec,
+    arrival_times,
+    client_ids,
+    peak_rate,
+    poisson_inter_arrivals,
+    rate_curve,
+    scenario_trace,
+    session_lengths,
+)
 
 __all__ = [
+    "FlashCrowd",
+    "ScenarioSpec",
+    "arrival_times",
     "bass_adoption_paths",
+    "client_ids",
     "commodity_year_samples",
     "cost_per_unit_curve",
     "decision_flip_batch",
@@ -47,10 +66,15 @@ __all__ = [
     "npv_batch",
     "npv_utilization_sweep",
     "payback_batch",
+    "peak_rate",
+    "poisson_inter_arrivals",
+    "rate_curve",
     "roi_batch",
     "roi_monte_carlo",
     "sampled_market_shares",
     "sampled_unit_costs",
+    "scenario_trace",
+    "session_lengths",
     "theme_matrix",
     "theme_statistics",
     "tornado_outputs_batch",

@@ -330,6 +330,18 @@ EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_bench_selfchaos.py",
         entrypoint="repro.runner.entrypoints:run_x16",
     ),
+    Experiment(
+        "X17", "SIII.B (provisioning for real traffic) + SII (Catapult tails)",
+        "The resilience headline claims survive realistic traffic: hedging still recovers the straggler-inflated P99 and the dependable fabric still buys availability under diurnal, flash-crowd and heavy-tailed load generated as vectorized scenario batch draws",
+        "hedging wins the P99 race in every traffic regime with >=50% tail recovery; the resilient memory policy wins availability in every regime; the full chaos x load matrix is deterministic at any --jobs",
+        (
+            "repro.mc.traffic",
+            "repro.workloads.scenario",
+            "repro.engine.sim",
+        ),
+        "benchmarks/test_bench_traffic.py",
+        entrypoint="repro.runner.entrypoints:run_x17",
+    ),
 ]
 
 

@@ -50,6 +50,7 @@ QUICK_CONFIGS: Dict[str, Dict[str, Any]] = {
     "X14": {"k": 8, "n_requests": 8_000, "duration_s": 2e-3, "shards": 2},
     "X15": {"n_requests": 3_000},
     "X16": {"inner_seeds": 2, "probe_sleep_s": 0.1, "service_sleep_s": 1.0},
+    "X17": {"search_horizon_s": 0.8, "memory_horizon_s": 1.0},
 }
 
 
@@ -782,3 +783,35 @@ def run_x16(config: Mapping[str, Any], seed: int) -> RunResult:
         overrides={key: cfg[key] for key in CHAOS_DEFAULTS},
     )
     return _result("X16", seed, cfg, metrics)
+
+
+def run_x17(config: Mapping[str, Any], seed: int) -> RunResult:
+    """X17: the chaos x load matrix -- X12's claims under real traffic.
+
+    Re-measures the Catapult-style hedging tail recovery and the
+    disaggregated-fabric availability gain under every
+    :data:`repro.workloads.scenario.TRAFFIC_REGIMES` traffic shape
+    (steady, diurnal, flash crowd, heavy tail), with each regime's
+    arrival trace generated as a :mod:`repro.mc.traffic` batch draw and
+    bulk-injected via ``Simulator.schedule_batch``
+    (:func:`repro.workloads.chaos_load_exhibit`).
+    """
+    from repro.workloads.scenario import chaos_load_exhibit
+
+    cfg = _merge(
+        {
+            "base_qps": 700.0,
+            "search_horizon_s": 4.0,
+            "base_read_hz": 400.0,
+            "memory_horizon_s": 5.0,
+        },
+        config,
+    )
+    metrics = chaos_load_exhibit(
+        base_qps=cfg["base_qps"],
+        search_horizon_s=cfg["search_horizon_s"],
+        base_read_hz=cfg["base_read_hz"],
+        memory_horizon_s=cfg["memory_horizon_s"],
+        seed=seed,
+    )
+    return _result("X17", seed, cfg, metrics)

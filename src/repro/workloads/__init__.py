@@ -4,8 +4,10 @@ Seeded synthetic data (Zipf text, clickstreams, relational tables,
 sensor/science streams, web graphs), the five-workload standard suite,
 the Catapult-style search service (E2), the HPC/Big Data convergence
 trigger pipeline (E14), the experiment-service admission model under
-planetary traffic (X15) and the self-chaos crash-recovery harness that
-SIGKILLs the reproduction stack itself (X16).
+planetary traffic (X15), the self-chaos crash-recovery harness that
+SIGKILLs the reproduction stack itself (X16) and the chaos x load
+matrix re-measuring the resilience claims under scenario-generated
+traffic (X17).
 """
 
 from repro.workloads.chaos import (
@@ -36,6 +38,13 @@ from repro.workloads.generator import (
     sensor_readings,
     web_graph,
     zipf_documents,
+)
+from repro.workloads.scenario import (
+    TRAFFIC_REGIMES,
+    chaos_load_exhibit,
+    regime_spec,
+    run_memory_load,
+    run_search_load,
 )
 from repro.workloads.search import (
     SearchRunResult,
@@ -78,10 +87,12 @@ __all__ = [
     "PlacementReport",
     "SearchRunResult",
     "SearchServiceConfig",
+    "TRAFFIC_REGIMES",
     "TriggerReport",
     "WanLink",
     "best_placement",
     "chaos_exhibit",
+    "chaos_load_exhibit",
     "clickstream",
     "compare_architectures",
     "convergence_comparison",
@@ -90,9 +101,12 @@ __all__ = [
     "latency_summary",
     "max_qps_within_sla",
     "probe_metrics",
+    "regime_spec",
     "run_memory_chaos",
+    "run_memory_load",
     "run_scheduler_chaos",
     "run_search_chaos",
+    "run_search_load",
     "run_search_service",
     "run_service_traffic",
     "run_suite",

@@ -180,8 +180,8 @@ class TestTables:
 
 class TestExperimentRegistry:
     def test_seventeen_experiments(self):
-        # T1 + F1 + E1..E16 + X1..X10 + X11 + X12 + X14 + X15 + X16 = 33
-        assert len(EXPERIMENTS) == 33
+        # T1 + F1 + E1..E16 + X1..X10 + X11 + X12 + X14..X17 = 34
+        assert len(EXPERIMENTS) == 34
 
     def test_ids_unique(self):
         table = registry()

@@ -100,7 +100,7 @@ class TestCli:
         assert main(["summary"]) == 0
         out = capsys.readouterr().out
         assert "rethinkbig" in out
-        assert "experiments: 33" in out
+        assert "experiments: 34" in out
 
     def test_summary_json_line(self, capsys):
         import json
@@ -110,7 +110,7 @@ class TestCli:
         record = json.loads(last)
         assert record["schema_version"] == "1.1"
         assert record["command"] == "summary"
-        assert record["experiments"] == 33
+        assert record["experiments"] == 34
 
     def test_findings(self, capsys):
         assert main(["findings"]) == 0

@@ -40,6 +40,10 @@ EXPECTED_BENCHES = {
     "sharded": {
         "sharded_fabric_4w", "sharded_window_protocol",
     },
+    "traffic": {
+        "traffic_arrivals_1m", "traffic_sessions_clients",
+        "bulk_injection",
+    },
 }
 
 
@@ -80,6 +84,9 @@ class TestSuiteSchema:
         assert targets["survey_theme_stats"] == 5.0
         assert targets["incremental_flow_repair"] == 10.0
         assert targets["sharded_fabric_4w"] == 3.0
+        assert targets["traffic_arrivals_1m"] == 50.0
+        assert targets["traffic_sessions_clients"] == 10.0
+        assert targets["bulk_injection"] == 2.0
 
     def test_sharded_bench_declares_workers(self):
         specs = {spec.name: spec for spec in build_specs()}
@@ -131,7 +138,7 @@ class TestWriteAndCheck:
         paths = write_results(quick_suites, tmp_path)
         assert [p.name for p in paths] == [
             "BENCH_engine.json", "BENCH_models.json", "BENCH_network.json",
-            "BENCH_sharded.json",
+            "BENCH_sharded.json", "BENCH_traffic.json",
         ]
         loaded = json.loads(paths[0].read_text())
         assert loaded["suite"] == "engine"
@@ -258,6 +265,15 @@ class TestListingAndHistory:
                 assert name in text
         assert "floor 2.25x" in text
         assert "4 workers" in text
+
+    def test_listing_shows_baseline_path_per_suite(self):
+        from repro.perf import render_spec_listing
+
+        text = render_spec_listing()
+        for suite in EXPECTED_BENCHES:
+            assert f"BENCH_{suite}.json" in text
+        # Committed baselines are flagged; anything else says MISSING.
+        assert "committed" in text or "MISSING" in text
 
     def test_cli_list_exits_zero(self, capsys):
         from repro.perf import main
